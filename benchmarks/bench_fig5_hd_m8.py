@@ -1,0 +1,25 @@
+"""E3 — Figure 5 panel 2: SFLL-HD h=m/8 — SAT vs SlidingWindow vs Distance2H.
+
+Expected shape: Distance2H defeats everything fastest; SlidingWindow
+also succeeds at this small h; the SAT attack fails on most circuits.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig5 import run_panel
+from repro.experiments.profiles import time_limit_seconds
+from repro.experiments.report import render_cactus
+
+
+def test_fig5_h_m8(benchmark):
+    result = benchmark.pedantic(run_panel, args=("m/8",), iterations=1, rounds=1)
+    print()
+    print(
+        render_cactus(
+            result.series,
+            time_limit_seconds(),
+            result.total,
+            title="Figure 5: SFLL-HD h=m/8",
+        )
+    )
+    assert len(result.series["Distance2H"]) >= len(result.series["SAT-Attack"])

@@ -1,0 +1,24 @@
+"""Shared configuration for the pytest-benchmark harness.
+
+Every benchmark regenerates one paper artifact (table/figure) at the
+laptop scale configured through ``repro.experiments.profiles`` (set
+``REPRO_FULL=1`` for paper-scale runs). Benchmarks print the regenerated
+artifact so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+reproduction report generator.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _benchmark_scale():
+    """Pin a small default scale when the caller has not chosen one."""
+    os.environ.setdefault("REPRO_MAX_KEYS", "12")
+    os.environ.setdefault("REPRO_MAX_GATES", "250")
+    os.environ.setdefault("REPRO_CIRCUITS", "4")
+    os.environ.setdefault("REPRO_TIME_LIMIT", "20")
+    yield

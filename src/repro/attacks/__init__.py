@@ -1,0 +1,29 @@
+"""Attacks on logic locking.
+
+The paper's contribution (the FALL attack pipeline and SAT-based key
+confirmation) plus the prior-work attacks used as baselines and context:
+the SAT attack [22], SPS [30], Double DIP [18] and AppSAT [17].
+"""
+
+from repro.attacks.oracle import IOOracle
+from repro.attacks.results import AttackResult, AttackStatus
+from repro.attacks.sat_attack import sat_attack
+from repro.attacks.key_confirmation import key_confirmation
+from repro.attacks.fall import fall_attack
+from repro.attacks.sps import sps_attack
+from repro.attacks.double_dip import double_dip_attack
+from repro.attacks.appsat import appsat_attack
+from repro.attacks.guess import guess_keys
+
+__all__ = [
+    "IOOracle",
+    "AttackResult",
+    "AttackStatus",
+    "sat_attack",
+    "key_confirmation",
+    "fall_attack",
+    "sps_attack",
+    "double_dip_attack",
+    "appsat_attack",
+    "guess_keys",
+]

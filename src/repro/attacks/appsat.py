@@ -1,0 +1,162 @@
+"""AppSAT — approximate SAT attack [Shamsi et al., HOST 2017].
+
+The approximate attack that degraded SARLock (paper §I): interleave
+normal SAT-attack iterations with random-query validation rounds. If a
+candidate key survives a large random sample, it is *approximately*
+correct (wrong on a vanishing fraction of inputs) — exactly the failure
+mode of point-corruption schemes, whose effective protection collapses
+once the attacker accepts an approximate netlist. Random-sample
+disagreements are fed back as additional I/O constraints.
+
+Returns SUCCESS with an exactly-correct key when the underlying SAT loop
+converges, or ``details['approximate'] = True`` when the key was
+accepted by sampling.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.oracle import IOOracle
+from repro.attacks.results import AttackResult, AttackStatus
+from repro.circuit.circuit import Circuit
+from repro.circuit.simulate import simulate_pattern
+from repro.circuit.tseitin import encode_circuit, encode_under_assignment
+from repro.errors import AttackError
+from repro.sat.cnf import Cnf
+from repro.sat.solver import Solver, SolveStatus
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.timer import Budget, Stopwatch
+
+
+def appsat_attack(
+    locked: Circuit,
+    oracle: IOOracle,
+    budget: Budget | None = None,
+    max_iterations: int | None = None,
+    settle_rounds: int = 4,
+    queries_per_round: int = 64,
+    error_threshold: float = 0.0,
+    seed: RngLike = 0,
+) -> AttackResult:
+    """Run AppSAT.
+
+    Every ``settle_rounds`` SAT iterations, the current candidate key is
+    validated on ``queries_per_round`` random patterns; if its sampled
+    error rate is at most ``error_threshold`` for one full round, the
+    key is accepted as approximately correct.
+    """
+    stopwatch = Stopwatch()
+    rng = make_rng(seed)
+    key_names = locked.key_inputs
+    input_names = locked.circuit_inputs
+    output_names = locked.outputs
+    if not key_names:
+        raise AttackError("circuit has no key inputs to attack")
+    queries_before = oracle.query_count
+
+    cnf = Cnf()
+    x_vars = {name: cnf.new_var() for name in input_names}
+    k1_vars = {name: cnf.new_var() for name in key_names}
+    k2_vars = {name: cnf.new_var() for name in key_names}
+    enc1 = encode_circuit(locked, cnf, shared_vars={**x_vars, **k1_vars})
+    enc2 = encode_circuit(locked, cnf, shared_vars={**x_vars, **k2_vars})
+    miter_bits = []
+    for out in output_names:
+        bit = cnf.new_var()
+        a, b = enc1.lit(out), enc2.lit(out)
+        cnf.add_clause([-bit, a, b])
+        cnf.add_clause([-bit, -a, -b])
+        cnf.add_clause([bit, -a, b])
+        cnf.add_clause([bit, a, -b])
+        miter_bits.append(bit)
+    cnf.add_clause(miter_bits)
+    solver = Solver(random_phase=0.1)
+    solver.add_cnf(cnf)
+    watermark = len(cnf.clauses)
+
+    # Key extractor: accumulates all observed I/O constraints on K.
+    key_cnf = Cnf()
+    key_vars = {name: key_cnf.new_var() for name in key_names}
+    key_solver = Solver()
+    key_solver.add_cnf(key_cnf)  # registers the key variables
+    key_watermark = 0
+
+    def add_io_constraint(pattern: dict[str, int], outputs: dict[str, int]):
+        nonlocal watermark, key_watermark
+        for kvars in (k1_vars, k2_vars):
+            enc = encode_under_assignment(
+                locked, cnf, fixed=pattern, shared_vars=kvars
+            )
+            for out in output_names:
+                enc.assert_node_equals(out, outputs[out])
+        for clause in cnf.clauses[watermark:]:
+            solver.add_clause(clause)
+        watermark = len(cnf.clauses)
+        enc = encode_under_assignment(
+            locked, key_cnf, fixed=pattern, shared_vars=key_vars
+        )
+        for out in output_names:
+            enc.assert_node_equals(out, outputs[out])
+        for clause in key_cnf.clauses[key_watermark:]:
+            key_solver.add_clause(clause)
+        key_watermark = len(key_cnf.clauses)
+
+    def current_key() -> tuple[int, ...] | None:
+        status = key_solver.solve(budget=budget)
+        if status is not SolveStatus.SAT:
+            return None
+        return tuple(int(key_solver.model_value(key_vars[n])) for n in key_names)
+
+    def result(status, key=None, iterations=0, approximate=False):
+        return AttackResult(
+            attack="appsat",
+            status=status,
+            key=key,
+            key_names=key_names,
+            elapsed_seconds=stopwatch.elapsed,
+            oracle_queries=oracle.query_count - queries_before,
+            iterations=iterations,
+            details={"approximate": approximate},
+        )
+
+    iteration = 0
+    while True:
+        if budget is not None and budget.expired:
+            return result(AttackStatus.TIMEOUT, iterations=iteration)
+        if max_iterations is not None and iteration >= max_iterations:
+            return result(AttackStatus.TIMEOUT, iterations=iteration)
+        status = solver.solve(budget=budget)
+        if status is SolveStatus.UNKNOWN:
+            return result(AttackStatus.TIMEOUT, iterations=iteration)
+        if status is SolveStatus.UNSAT:
+            key = current_key()
+            if key is None:
+                return result(AttackStatus.FAILED, iterations=iteration)
+            return result(AttackStatus.SUCCESS, key=key, iterations=iteration)
+        iteration += 1
+        pattern = {
+            name: int(solver.model_value(var)) for name, var in x_vars.items()
+        }
+        add_io_constraint(pattern, oracle.query(pattern))
+
+        if iteration % settle_rounds:
+            continue
+        # Validation round: random sampling against the oracle.
+        key = current_key()
+        if key is None:
+            return result(AttackStatus.FAILED, iterations=iteration)
+        key_assignment = dict(zip(key_names, key))
+        errors = 0
+        for _ in range(queries_per_round):
+            sample = {name: rng.getrandbits(1) for name in input_names}
+            observed = oracle.query(sample)
+            predicted = simulate_pattern(locked, {**sample, **key_assignment})
+            if any(predicted[o] != observed[o] for o in output_names):
+                errors += 1
+                add_io_constraint(sample, observed)
+        if errors / queries_per_round <= error_threshold:
+            return result(
+                AttackStatus.SUCCESS,
+                key=key,
+                iterations=iteration,
+                approximate=True,
+            )

@@ -1,0 +1,57 @@
+"""The input/output oracle: an activated IC in the adversary's lab.
+
+The paper's threat model (§II-A) optionally grants the adversary an
+activated circuit "which can be used to observe the output for a
+specific input". We model it as a wrapper over the *original* circuit
+that answers single-pattern queries and counts them (query counts are an
+attack-cost metric alongside wall-clock time).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.simulate import simulate_pattern
+from repro.errors import AttackError
+
+
+class IOOracle:
+    """Query interface to an unlocked (activated) circuit."""
+
+    def __init__(self, circuit: Circuit):
+        if circuit.key_inputs:
+            raise AttackError(
+                "oracle circuit still has key inputs; activate it first "
+                "(LockedCircuit.unlocked_with or locking.apply_key)"
+            )
+        self._circuit = circuit
+        self.query_count = 0
+
+    @property
+    def input_names(self) -> tuple[str, ...]:
+        return self._circuit.circuit_inputs
+
+    @property
+    def output_names(self) -> tuple[str, ...]:
+        return self._circuit.outputs
+
+    def query(self, assignment: Mapping[str, int]) -> dict[str, int]:
+        """Outputs for one input pattern (0/1 values keyed by name)."""
+        missing = [n for n in self.input_names if n not in assignment]
+        if missing:
+            raise AttackError(f"oracle query missing inputs: {missing}")
+        self.query_count += 1
+        values = simulate_pattern(
+            self._circuit, {n: assignment[n] for n in self.input_names}
+        )
+        return {name: values[name] for name in self.output_names}
+
+    def query_bits(self, bits: Sequence[int]) -> tuple[int, ...]:
+        """Positional variant: bits follow ``input_names`` order."""
+        if len(bits) != len(self.input_names):
+            raise AttackError(
+                f"expected {len(self.input_names)} input bits, got {len(bits)}"
+            )
+        outputs = self.query(dict(zip(self.input_names, bits)))
+        return tuple(outputs[name] for name in self.output_names)

@@ -1,0 +1,62 @@
+"""Attack outcome records.
+
+Every attack returns an :class:`AttackResult` so the experiment harness
+can tabulate success/failure, recovered keys, timings and query counts
+uniformly across attack families.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class AttackStatus(enum.Enum):
+    """How an attack run ended."""
+
+    SUCCESS = "success"          # a key was recovered (and verified if possible)
+    MULTIPLE_CANDIDATES = "multiple_candidates"  # shortlist > 1, no oracle
+    FAILED = "failed"            # analysis found nothing / refuted the guess
+    TIMEOUT = "timeout"          # budget exhausted
+    NOT_APPLICABLE = "not_applicable"  # preconditions unmet (e.g. 4h > m)
+
+
+@dataclass
+class AttackResult:
+    """Uniform record of one attack execution."""
+
+    attack: str
+    status: AttackStatus
+    key: tuple[int, ...] | None = None
+    key_names: tuple[str, ...] = ()
+    candidates: tuple[tuple[int, ...], ...] = ()
+    elapsed_seconds: float = 0.0
+    oracle_queries: int = 0
+    iterations: int = 0
+    details: dict = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status is AttackStatus.SUCCESS
+
+    def key_as_assignment(self) -> dict[str, int]:
+        """The recovered key mapped onto key-input names."""
+        if self.key is None:
+            raise ValueError("attack did not recover a key")
+        if len(self.key_names) != len(self.key):
+            raise ValueError("result is missing key input names")
+        return dict(zip(self.key_names, self.key))
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        parts = [f"{self.attack}: {self.status.value}"]
+        if self.key is not None:
+            parts.append(f"key={''.join(map(str, self.key))}")
+        if len(self.candidates) > 1:
+            parts.append(f"candidates={len(self.candidates)}")
+        parts.append(f"t={self.elapsed_seconds:.3f}s")
+        if self.oracle_queries:
+            parts.append(f"queries={self.oracle_queries}")
+        if self.iterations:
+            parts.append(f"iters={self.iterations}")
+        return " ".join(parts)

@@ -1,0 +1,69 @@
+"""Gate-level circuit library.
+
+The netlist substrate everything else is built on: a combinational DAG
+(:class:`~repro.circuit.circuit.Circuit`), ISCAS ``.bench`` I/O,
+bit-parallel simulation, Tseitin CNF encoding, SAT-based equivalence
+checking, an AIG with structural hashing (our stand-in for ABC's
+``strash``), synthetic benchmark generation and a small library of known
+circuits (ISCAS c17 and the paper's §II-B worked example).
+"""
+
+from repro.circuit.gates import GateType
+from repro.circuit.circuit import Circuit
+from repro.circuit.analysis import (
+    transitive_fanin,
+    support,
+    extract_cone,
+    circuit_depth,
+)
+from repro.circuit.simulate import simulate, simulate_pattern, truth_table
+from repro.circuit.bench_io import parse_bench, write_bench
+from repro.circuit.tseitin import CircuitEncoding, encode_circuit
+from repro.circuit.equivalence import (
+    EquivalenceResult,
+    check_equivalence,
+    check_outputs_equal,
+)
+from repro.circuit.aig import Aig
+from repro.circuit.bdd import Bdd, bdd_from_circuit
+from repro.circuit.opt import optimize, sweep
+from repro.circuit.random_circuits import generate_random_circuit
+from repro.circuit.library import c17, paper_example_circuit
+from repro.circuit.sequential import (
+    SequentialCircuit,
+    combinational_view,
+    parse_bench_sequential,
+)
+from repro.circuit.verilog import parse_verilog, write_verilog
+
+__all__ = [
+    "GateType",
+    "Circuit",
+    "transitive_fanin",
+    "support",
+    "extract_cone",
+    "circuit_depth",
+    "simulate",
+    "simulate_pattern",
+    "truth_table",
+    "parse_bench",
+    "write_bench",
+    "CircuitEncoding",
+    "encode_circuit",
+    "EquivalenceResult",
+    "check_equivalence",
+    "check_outputs_equal",
+    "Aig",
+    "Bdd",
+    "bdd_from_circuit",
+    "optimize",
+    "sweep",
+    "generate_random_circuit",
+    "c17",
+    "paper_example_circuit",
+    "SequentialCircuit",
+    "combinational_view",
+    "parse_bench_sequential",
+    "parse_verilog",
+    "write_verilog",
+]

@@ -1,0 +1,335 @@
+"""Reduced Ordered Binary Decision Diagrams.
+
+A classic ROBDD package (hash-consed nodes, complement-free, ITE-based
+apply with memoization) used as an *independent* analysis engine beside
+the SAT stack:
+
+- exact equivalence checking of small cones (BDD equality is O(1) after
+  construction) — cross-checks the SAT-based CEC in tests;
+- exact signal probability (weighted model counting), the quantity SPS
+  estimates by sampling;
+- exact unateness checking via cofactor comparison — a second
+  implementation of the Lemma 1 test used by AnalyzeUnateness;
+- exact corruption counting for locked circuits (how many input
+  patterns a wrong key corrupts — TTLock's 2 vs SFLL-HDh's 2·C(m,h)).
+
+BDDs blow up on wide arithmetic, so these are tools for cones of up to
+a few dozen variables — which is exactly the FALL candidate-cone regime.
+The bypass/removal attack literature the paper cites ([28]) is BDD-based,
+which is why a reproduction repo should carry one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import GateType
+from repro.errors import CircuitError
+
+_MAX_NODES_DEFAULT = 500_000
+
+
+class Bdd:
+    """A ROBDD manager over a fixed variable order.
+
+    Terminal nodes are 0 (false) and 1 (true); internal nodes are
+    triples (level, low, high) with the standard reduction rules
+    (no redundant tests, hash-consed sharing).
+    """
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self, variables: Sequence[str], max_nodes: int = _MAX_NODES_DEFAULT):
+        if len(set(variables)) != len(variables):
+            raise CircuitError("duplicate variables in BDD order")
+        self._order = tuple(variables)
+        self._level_of = {name: i for i, name in enumerate(variables)}
+        # nodes[i] = (level, low, high); slots 0/1 are the terminals.
+        self._nodes: list[tuple[int, int, int]] = [
+            (len(variables), 0, 0),
+            (len(variables), 1, 1),
+        ]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        self._max_nodes = max_nodes
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return self._order
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def var(self, name: str) -> int:
+        """The BDD for a single variable."""
+        if name not in self._level_of:
+            raise CircuitError(f"unknown BDD variable {name!r}")
+        return self._mk(self._level_of[name], self.FALSE, self.TRUE)
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            if len(self._nodes) >= self._max_nodes:
+                raise CircuitError(
+                    f"BDD node limit exceeded ({self._max_nodes})"
+                )
+            node = len(self._nodes)
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    def _level(self, node: int) -> int:
+        return self._nodes[node][0]
+
+    def _low(self, node: int) -> int:
+        return self._nodes[node][1]
+
+    def _high(self, node: int) -> int:
+        return self._nodes[node][2]
+
+    # ------------------------------------------------------------------
+    # Boolean operations (all via ITE)
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """if f then g else h."""
+        if f == self.TRUE:
+            return g
+        if f == self.FALSE:
+            return h
+        if g == h:
+            return g
+        if g == self.TRUE and h == self.FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level(f), self._level(g), self._level(h))
+
+        def cofactor(node: int, positive: bool) -> int:
+            if self._level(node) != level:
+                return node
+            return self._high(node) if positive else self._low(node)
+
+        high = self.ite(
+            cofactor(f, True), cofactor(g, True), cofactor(h, True)
+        )
+        low = self.ite(
+            cofactor(f, False), cofactor(g, False), cofactor(h, False)
+        )
+        result = self._mk(level, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    def not_(self, f: int) -> int:
+        return self.ite(f, self.FALSE, self.TRUE)
+
+    def and_(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.FALSE)
+
+    def or_(self, f: int, g: int) -> int:
+        return self.ite(f, self.TRUE, g)
+
+    def xor_(self, f: int, g: int) -> int:
+        return self.ite(f, self.not_(g), g)
+
+    def xnor_(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.not_(g))
+
+    def and_many(self, nodes: Sequence[int]) -> int:
+        result = self.TRUE
+        for node in nodes:
+            result = self.and_(result, node)
+        return result
+
+    def or_many(self, nodes: Sequence[int]) -> int:
+        result = self.FALSE
+        for node in nodes:
+            result = self.or_(result, node)
+        return result
+
+    def xor_many(self, nodes: Sequence[int]) -> int:
+        result = self.FALSE
+        for node in nodes:
+            result = self.xor_(result, node)
+        return result
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def evaluate(self, f: int, assignment: Mapping[str, int]) -> int:
+        """Evaluate under a total assignment."""
+        node = f
+        while node > 1:
+            level, low, high = self._nodes[node]
+            name = self._order[level]
+            if name not in assignment:
+                raise CircuitError(f"assignment missing variable {name!r}")
+            node = high if assignment[name] else low
+        return node
+
+    def cofactor(self, f: int, name: str, value: int) -> int:
+        """Restrict a variable to a constant."""
+        target = self._level_of[name]
+        cache: dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node <= 1:
+                return node
+            level, low, high = self._nodes[node]
+            if level > target:
+                return node
+            if node in cache:
+                return cache[node]
+            if level == target:
+                result = high if value else low
+            else:
+                result = self._mk(level, walk(low), walk(high))
+            cache[node] = result
+            return result
+
+        return walk(f)
+
+    def satisfy_count(self, f: int) -> int:
+        """Number of satisfying assignments over all variables.
+
+        Standard level-aware counting: skipped levels contribute a
+        factor of two per level (both branches satisfy), terminals sit
+        at level ``len(variables)``.
+        """
+        cache: dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            # Counts assignments of the variables at the node's level
+            # and below (levels level(node) .. total-1).
+            if node == self.FALSE:
+                return 0
+            if node == self.TRUE:
+                return 1
+            if node in cache:
+                return cache[node]
+            level, low, high = self._nodes[node]
+            low_count = walk(low) << (self._level(low) - level - 1)
+            high_count = walk(high) << (self._level(high) - level - 1)
+            result = low_count + high_count
+            cache[node] = result
+            return result
+
+        return walk(f) << self._level(f)
+
+    def probability(self, f: int) -> float:
+        """Exact signal probability under uniform inputs."""
+        return self.satisfy_count(f) / (1 << len(self._order))
+
+    def is_positive_unate_in(self, f: int, name: str) -> bool:
+        """f(x=0) <= f(x=1) — exactly Lemma 1's test."""
+        low = self.cofactor(f, name, 0)
+        high = self.cofactor(f, name, 1)
+        # low <= high iff low AND NOT high == FALSE
+        return self.and_(low, self.not_(high)) == self.FALSE
+
+    def is_negative_unate_in(self, f: int, name: str) -> bool:
+        low = self.cofactor(f, name, 0)
+        high = self.cofactor(f, name, 1)
+        return self.and_(high, self.not_(low)) == self.FALSE
+
+    def any_satisfying(self, f: int) -> dict[str, int] | None:
+        """One satisfying assignment (all variables), or None."""
+        if f == self.FALSE:
+            return None
+        assignment = {name: 0 for name in self._order}
+        node = f
+        while node > 1:
+            level, low, high = self._nodes[node]
+            name = self._order[level]
+            if high != self.FALSE:
+                assignment[name] = 1
+                node = high
+            else:
+                assignment[name] = 0
+                node = low
+        return assignment
+
+
+def bdd_from_circuit(
+    circuit: Circuit,
+    node: str | None = None,
+    order: Sequence[str] | None = None,
+    max_nodes: int = _MAX_NODES_DEFAULT,
+) -> tuple[Bdd, int]:
+    """Build the BDD of one circuit node (default: the single output)."""
+    if node is None:
+        if len(circuit.outputs) != 1:
+            raise CircuitError(
+                "bdd_from_circuit needs an explicit node for "
+                "multi-output circuits"
+            )
+        node = circuit.outputs[0]
+    topo = circuit.topological_order(targets=[node])
+    cone_inputs = [
+        n for n in topo if circuit.gate_type(n) is GateType.INPUT
+    ]
+    manager = Bdd(order if order is not None else cone_inputs,
+                  max_nodes=max_nodes)
+    return manager, build_in_manager(manager, circuit, node)
+
+
+def build_in_manager(
+    manager: Bdd, circuit: Circuit, node: str | None = None
+) -> int:
+    """Build a circuit node's function inside an existing manager.
+
+    Sharing a manager makes cross-circuit equivalence a pointer
+    comparison (canonicity) — e.g. comparing a candidate cone against a
+    reference strip function. Inputs are matched by name and must exist
+    in the manager's variable order.
+    """
+    if node is None:
+        if len(circuit.outputs) != 1:
+            raise CircuitError(
+                "build_in_manager needs an explicit node for "
+                "multi-output circuits"
+            )
+        node = circuit.outputs[0]
+    values: dict[str, int] = {}
+    for current in circuit.topological_order(targets=[node]):
+        gate_type = circuit.gate_type(current)
+        if gate_type is GateType.INPUT:
+            values[current] = manager.var(current)
+        elif gate_type is GateType.CONST0:
+            values[current] = Bdd.FALSE
+        elif gate_type is GateType.CONST1:
+            values[current] = Bdd.TRUE
+        else:
+            fanins = [values[f] for f in circuit.fanins(current)]
+            values[current] = _apply_gate(manager, gate_type, fanins)
+    return values[node]
+
+
+def _apply_gate(manager: Bdd, gate_type: GateType, fanins: list[int]) -> int:
+    if gate_type is GateType.BUF:
+        return fanins[0]
+    if gate_type is GateType.NOT:
+        return manager.not_(fanins[0])
+    if gate_type is GateType.AND:
+        return manager.and_many(fanins)
+    if gate_type is GateType.NAND:
+        return manager.not_(manager.and_many(fanins))
+    if gate_type is GateType.OR:
+        return manager.or_many(fanins)
+    if gate_type is GateType.NOR:
+        return manager.not_(manager.or_many(fanins))
+    if gate_type is GateType.XOR:
+        return manager.xor_many(fanins)
+    if gate_type is GateType.XNOR:
+        return manager.not_(manager.xor_many(fanins))
+    raise CircuitError(f"cannot build BDD for gate type {gate_type.value}")

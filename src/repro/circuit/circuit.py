@@ -1,0 +1,284 @@
+"""The combinational circuit DAG.
+
+This mirrors the paper's formal model (§II-D): a circuit is a DAG whose
+nodes are gates or inputs; some inputs of a locked netlist are
+distinguished *key inputs* (the ``isKey`` predicate). Node names are
+strings; insertion order is preserved and used as the deterministic
+iteration order throughout the library.
+
+Forward references are allowed during construction (needed by the
+``.bench`` parser, where gates may be defined before their fanins);
+:meth:`Circuit.validate` and :meth:`Circuit.topological_order` check that
+the final netlist is a well-formed DAG.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.circuit.gates import GateType, check_arity
+from repro.errors import CircuitError
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Summary statistics, formatted like Table I of the paper."""
+
+    name: str
+    num_inputs: int
+    num_key_inputs: int
+    num_outputs: int
+    num_gates: int
+    depth: int
+
+
+class Circuit:
+    """A named combinational netlist.
+
+    >>> c = Circuit("demo")
+    >>> _ = c.add_input("a"); _ = c.add_input("b")
+    >>> _ = c.add_gate("y", GateType.AND, ["a", "b"])
+    >>> c.add_output("y")
+    >>> c.num_gates
+    1
+    """
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self._type: dict[str, GateType] = {}
+        self._fanins: dict[str, tuple[str, ...]] = {}
+        self._outputs: list[str] = []
+        self._key_inputs: set[str] = set()
+        self._fresh_counter = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str, key: bool = False) -> str:
+        """Add a primary input; ``key=True`` marks it a key input."""
+        self._add_node(name, GateType.INPUT, ())
+        if key:
+            self._key_inputs.add(name)
+        return name
+
+    def add_key_input(self, name: str) -> str:
+        return self.add_input(name, key=True)
+
+    def add_const(self, name: str, value: int) -> str:
+        """Add a constant-0 or constant-1 node."""
+        if value not in (0, 1):
+            raise CircuitError(f"constant value must be 0 or 1, got {value!r}")
+        gate_type = GateType.CONST1 if value else GateType.CONST0
+        self._add_node(name, gate_type, ())
+        return name
+
+    def add_gate(self, name: str, gate_type: GateType, fanins: Sequence[str]) -> str:
+        """Add a logic gate. Fanins may be forward references."""
+        if not gate_type.is_gate:
+            raise CircuitError(
+                f"add_gate cannot create {gate_type.value} nodes; "
+                "use add_input/add_const"
+            )
+        fanin_tuple = tuple(fanins)
+        check_arity(gate_type, len(fanin_tuple))
+        self._add_node(name, gate_type, fanin_tuple)
+        return name
+
+    def _add_node(self, name: str, gate_type: GateType, fanins: tuple[str, ...]) -> None:
+        if not name:
+            raise CircuitError("node name must be a non-empty string")
+        if name in self._type:
+            raise CircuitError(f"node {name!r} already exists")
+        self._type[name] = gate_type
+        self._fanins[name] = fanins
+
+    def add_output(self, name: str) -> None:
+        """Mark an existing (or forward-referenced) node as an output."""
+        if name in self._outputs:
+            raise CircuitError(f"{name!r} is already an output")
+        self._outputs.append(name)
+
+    def replace_output(self, old: str, new: str) -> None:
+        """Swap output ``old`` for node ``new``, keeping its position."""
+        if old not in self._outputs:
+            raise CircuitError(f"{old!r} is not an output")
+        if new in self._outputs:
+            raise CircuitError(f"{new!r} is already an output")
+        self._outputs[self._outputs.index(old)] = new
+
+    def fresh_name(self, prefix: str = "n") -> str:
+        """A node name not yet present in the circuit."""
+        while True:
+            self._fresh_counter += 1
+            candidate = f"{prefix}${self._fresh_counter}"
+            if candidate not in self._type:
+                return candidate
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def has_node(self, name: str) -> bool:
+        return name in self._type
+
+    def gate_type(self, name: str) -> GateType:
+        self._require(name)
+        return self._type[name]
+
+    def fanins(self, name: str) -> tuple[str, ...]:
+        self._require(name)
+        return self._fanins[name]
+
+    def is_key_input(self, name: str) -> bool:
+        """The paper's ``isKey`` predicate."""
+        return name in self._key_inputs
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(self._type)
+
+    @property
+    def inputs(self) -> tuple[str, ...]:
+        """All primary inputs (circuit + key), in insertion order."""
+        return tuple(n for n, t in self._type.items() if t is GateType.INPUT)
+
+    @property
+    def key_inputs(self) -> tuple[str, ...]:
+        return tuple(n for n in self.inputs if n in self._key_inputs)
+
+    @property
+    def circuit_inputs(self) -> tuple[str, ...]:
+        """Primary inputs that are not key inputs (the paper's X)."""
+        return tuple(n for n in self.inputs if n not in self._key_inputs)
+
+    @property
+    def outputs(self) -> tuple[str, ...]:
+        return tuple(self._outputs)
+
+    @property
+    def gates(self) -> tuple[str, ...]:
+        return tuple(n for n, t in self._type.items() if t.is_gate)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._type)
+
+    @property
+    def num_gates(self) -> int:
+        return sum(1 for t in self._type.values() if t.is_gate)
+
+    def fanouts(self) -> dict[str, list[str]]:
+        """Map node -> list of nodes it feeds (computed fresh)."""
+        table: dict[str, list[str]] = {name: [] for name in self._type}
+        for name, fanins in self._fanins.items():
+            for fanin in fanins:
+                if fanin in table:
+                    table[fanin].append(name)
+        return table
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def topological_order(self, targets: Iterable[str] | None = None) -> list[str]:
+        """Nodes in fanin-before-fanout order.
+
+        With ``targets``, restricts to the union of their transitive fanin
+        cones (targets included). Raises on cycles or dangling references.
+        """
+        if targets is None:
+            wanted = list(self._type)
+        else:
+            wanted = list(targets)
+        order: list[str] = []
+        state: dict[str, int] = {}  # 0 = visiting, 1 = done
+        for root in wanted:
+            if state.get(root) == 1:
+                continue
+            stack: list[tuple[str, int]] = [(root, 0)]
+            while stack:
+                node, child_index = stack.pop()
+                if child_index == 0:
+                    if state.get(node) == 1:
+                        continue
+                    if state.get(node) == 0:
+                        raise CircuitError(f"combinational cycle through {node!r}")
+                    if node not in self._type:
+                        raise CircuitError(f"reference to undefined node {node!r}")
+                    state[node] = 0
+                fanins = self._fanins[node]
+                if child_index < len(fanins):
+                    stack.append((node, child_index + 1))
+                    child = fanins[child_index]
+                    if state.get(child) != 1:
+                        if state.get(child) == 0:
+                            raise CircuitError(
+                                f"combinational cycle through {child!r}"
+                            )
+                        stack.append((child, 0))
+                else:
+                    state[node] = 1
+                    order.append(node)
+        return order
+
+    def validate(self) -> None:
+        """Check the netlist is a closed DAG with declared outputs."""
+        for name in self._outputs:
+            if name not in self._type:
+                raise CircuitError(f"output {name!r} is not defined")
+        self.topological_order()
+        if not self._outputs:
+            raise CircuitError("circuit has no outputs")
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "Circuit":
+        duplicate = Circuit(name or self.name)
+        duplicate._type = dict(self._type)
+        duplicate._fanins = dict(self._fanins)
+        duplicate._outputs = list(self._outputs)
+        duplicate._key_inputs = set(self._key_inputs)
+        duplicate._fresh_counter = self._fresh_counter
+        return duplicate
+
+    def renamed(self, mapping: dict[str, str], name: str | None = None) -> "Circuit":
+        """A copy with nodes renamed per ``mapping`` (missing = keep)."""
+
+        def rename(node: str) -> str:
+            return mapping.get(node, node)
+
+        new_names = [rename(n) for n in self._type]
+        if len(set(new_names)) != len(new_names):
+            raise CircuitError("renaming would merge distinct nodes")
+        duplicate = Circuit(name or self.name)
+        for node, gate_type in self._type.items():
+            duplicate._type[rename(node)] = gate_type
+            duplicate._fanins[rename(node)] = tuple(
+                rename(f) for f in self._fanins[node]
+            )
+        duplicate._outputs = [rename(n) for n in self._outputs]
+        duplicate._key_inputs = {rename(n) for n in self._key_inputs}
+        duplicate._fresh_counter = self._fresh_counter
+        return duplicate
+
+    def stats(self) -> CircuitStats:
+        from repro.circuit.analysis import circuit_depth
+
+        return CircuitStats(
+            name=self.name,
+            num_inputs=len(self.circuit_inputs),
+            num_key_inputs=len(self.key_inputs),
+            num_outputs=len(self._outputs),
+            num_gates=self.num_gates,
+            depth=circuit_depth(self),
+        )
+
+    def _require(self, name: str) -> None:
+        if name not in self._type:
+            raise CircuitError(f"unknown node {name!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}, inputs={len(self.inputs)}, "
+            f"gates={self.num_gates}, outputs={len(self._outputs)})"
+        )

@@ -1,0 +1,108 @@
+"""Gate types and their semantics.
+
+Gates evaluate over packed bit-vectors: a value is a Python int whose
+bit ``j`` is the gate's output for simulation pattern ``j``. ``mask`` is
+the all-ones word for the active pattern width, needed by the negating
+gates.
+"""
+
+from __future__ import annotations
+
+import enum
+from functools import reduce
+
+from repro.errors import CircuitError
+
+
+class GateType(enum.Enum):
+    """Node kinds of a combinational netlist DAG."""
+
+    INPUT = "input"
+    CONST0 = "const0"
+    CONST1 = "const1"
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    NAND = "nand"
+    OR = "or"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+
+    @property
+    def is_input(self) -> bool:
+        return self is GateType.INPUT
+
+    @property
+    def is_constant(self) -> bool:
+        return self in (GateType.CONST0, GateType.CONST1)
+
+    @property
+    def is_gate(self) -> bool:
+        """True for logic gates (anything with fanins)."""
+        return not (self.is_input or self.is_constant)
+
+
+# Legal fanin counts: (min, max); None = unbounded.
+_ARITY: dict[GateType, tuple[int, int | None]] = {
+    GateType.INPUT: (0, 0),
+    GateType.CONST0: (0, 0),
+    GateType.CONST1: (0, 0),
+    GateType.BUF: (1, 1),
+    GateType.NOT: (1, 1),
+    GateType.AND: (1, None),
+    GateType.NAND: (1, None),
+    GateType.OR: (1, None),
+    GateType.NOR: (1, None),
+    GateType.XOR: (1, None),
+    GateType.XNOR: (1, None),
+}
+
+
+def check_arity(gate_type: GateType, fanin_count: int) -> None:
+    """Raise :class:`CircuitError` when the fanin count is illegal."""
+    lo, hi = _ARITY[gate_type]
+    if fanin_count < lo or (hi is not None and fanin_count > hi):
+        bound = f"exactly {lo}" if lo == hi else f"at least {lo}"
+        raise CircuitError(
+            f"{gate_type.value} gate takes {bound} fanin(s), got {fanin_count}"
+        )
+
+
+def evaluate_gate(gate_type: GateType, fanin_values: list[int], mask: int) -> int:
+    """Evaluate one gate over packed bit-vector fanin values."""
+    if gate_type is GateType.AND:
+        return reduce(lambda a, b: a & b, fanin_values)
+    if gate_type is GateType.NAND:
+        return mask ^ reduce(lambda a, b: a & b, fanin_values)
+    if gate_type is GateType.OR:
+        return reduce(lambda a, b: a | b, fanin_values)
+    if gate_type is GateType.NOR:
+        return mask ^ reduce(lambda a, b: a | b, fanin_values)
+    if gate_type is GateType.XOR:
+        return reduce(lambda a, b: a ^ b, fanin_values)
+    if gate_type is GateType.XNOR:
+        return mask ^ reduce(lambda a, b: a ^ b, fanin_values)
+    if gate_type is GateType.NOT:
+        return mask ^ fanin_values[0]
+    if gate_type is GateType.BUF:
+        return fanin_values[0]
+    if gate_type is GateType.CONST0:
+        return 0
+    if gate_type is GateType.CONST1:
+        return mask
+    raise CircuitError(f"cannot evaluate node of type {gate_type.value}")
+
+
+# .bench name <-> GateType (ISCAS bench format).
+BENCH_NAMES: dict[str, GateType] = {
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "NOT": GateType.NOT,
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+}

@@ -1,0 +1,237 @@
+"""Sequential circuits and the combinational reduction of §II-A.
+
+The paper's threat model covers sequential designs by reduction:
+"Sequential circuits can be viewed as combinational by treating
+flip-flop inputs and outputs as combinational outputs and inputs
+respectively" (§II-A) — the standard scan-chain assumption. This module
+provides that reduction plus the supporting machinery:
+
+- :class:`SequentialCircuit`: a combinational core + D flip-flops,
+  parsed from ISCAS'89-style ``.bench`` files (``q = DFF(d)``);
+- :func:`combinational_view`: the paper's reduction — flop outputs
+  become pseudo-inputs, flop data inputs become pseudo-outputs, so every
+  combinational attack (SAT attack, FALL, ...) applies unchanged;
+- :func:`unroll`: classic time-frame expansion for bounded analyses;
+- :func:`simulate_sequence`: cycle-accurate simulation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.circuit.bench_io import write_bench
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import GateType
+from repro.circuit.simulate import simulate_pattern
+from repro.errors import CircuitError, ParseError
+
+
+@dataclass(frozen=True)
+class Flop:
+    """One D flip-flop: ``output`` holds state, ``data`` is its D input."""
+
+    output: str
+    data: str
+
+
+class SequentialCircuit:
+    """A synchronous sequential netlist (single implicit clock).
+
+    ``core`` is the combinational logic; each flop's ``output`` appears
+    in ``core`` as a primary input (the current state) and its ``data``
+    names a core node (the next state).
+    """
+
+    def __init__(self, core: Circuit, flops: Sequence[Flop], name: str = "seq"):
+        self.name = name
+        self.core = core
+        self.flops = tuple(flops)
+        outputs_seen = set()
+        for flop in self.flops:
+            if not core.has_node(flop.output):
+                raise CircuitError(f"flop output {flop.output!r} not in core")
+            if core.gate_type(flop.output) is not GateType.INPUT:
+                raise CircuitError(
+                    f"flop output {flop.output!r} must be a core input"
+                )
+            if not core.has_node(flop.data):
+                raise CircuitError(f"flop data {flop.data!r} not in core")
+            if flop.output in outputs_seen:
+                raise CircuitError(f"duplicate flop output {flop.output!r}")
+            outputs_seen.add(flop.output)
+
+    @property
+    def state_width(self) -> int:
+        return len(self.flops)
+
+    @property
+    def primary_inputs(self) -> tuple[str, ...]:
+        state = {flop.output for flop in self.flops}
+        return tuple(n for n in self.core.circuit_inputs if n not in state)
+
+    @property
+    def primary_outputs(self) -> tuple[str, ...]:
+        return self.core.outputs
+
+    def __repr__(self) -> str:
+        return (
+            f"SequentialCircuit({self.name!r}, "
+            f"inputs={len(self.primary_inputs)}, flops={self.state_width}, "
+            f"gates={self.core.num_gates})"
+        )
+
+
+def parse_bench_sequential(text: str, name: str = "seq") -> SequentialCircuit:
+    """Parse a ``.bench`` netlist that may contain ``DFF`` lines."""
+    flops: list[Flop] = []
+    core_lines: list[str] = []
+    pseudo_inputs: list[str] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        upper = line.upper()
+        if "=" in line and "DFF(" in upper:
+            target, expr = (part.strip() for part in line.split("=", 1))
+            inner = expr[expr.index("(") + 1 : expr.rindex(")")].strip()
+            if not inner:
+                raise ParseError("DFF with no data input", line_no)
+            flops.append(Flop(output=target, data=inner))
+            pseudo_inputs.append(target)
+            continue
+        core_lines.append(raw)
+    core_text = "\n".join(
+        [f"INPUT({q})" for q in pseudo_inputs] + core_lines
+    )
+    from repro.circuit.bench_io import parse_bench
+
+    # Flop data nets may be internal: expose them as outputs so the core
+    # validates and the next-state logic is reachable.
+    core = _parse_core_with_flop_outputs(core_text, flops, name)
+    return SequentialCircuit(core, flops, name=name)
+
+
+def _parse_core_with_flop_outputs(
+    core_text: str, flops: Sequence[Flop], name: str
+) -> Circuit:
+    from repro.circuit.bench_io import parse_bench
+
+    circuit = parse_bench(core_text + "\n", name=f"{name}~core")
+    for flop in flops:
+        if flop.data not in circuit.outputs:
+            circuit.add_output(flop.data)
+    circuit.validate()
+    return circuit
+
+
+def combinational_view(seq: SequentialCircuit) -> Circuit:
+    """The paper's §II-A reduction.
+
+    Flop outputs are already core inputs; this simply guarantees every
+    flop data net is exposed as an output and returns a standalone copy,
+    ready for any combinational attack or locking transform.
+    """
+    view = seq.core.copy(name=f"{seq.name}~comb")
+    for flop in seq.flops:
+        if flop.data not in view.outputs:
+            view.add_output(flop.data)
+    return view
+
+
+def unroll(
+    seq: SequentialCircuit,
+    cycles: int,
+    initial_state: Mapping[str, int] | None = None,
+) -> Circuit:
+    """Time-frame expansion: ``cycles`` copies of the core, chained.
+
+    Primary inputs are replicated per frame (``name@t``); flop state
+    flows from frame to frame; frame-0 state comes from ``initial_state``
+    (default all-zero) as constants. Outputs are the per-frame primary
+    outputs (``out@t``).
+    """
+    if cycles < 1:
+        raise CircuitError("unroll needs at least one cycle")
+    initial_state = dict(initial_state or {})
+    result = Circuit(f"{seq.name}~unroll{cycles}")
+    state_nodes: dict[str, str] = {}
+    for flop in seq.flops:
+        value = int(initial_state.get(flop.output, 0))
+        const_name = f"{flop.output}@init"
+        result.add_const(const_name, value)
+        state_nodes[flop.output] = const_name
+
+    for frame in range(cycles):
+        rename: dict[str, str] = {}
+        for node in seq.core.topological_order():
+            gate_type = seq.core.gate_type(node)
+            if gate_type is GateType.INPUT:
+                if node in state_nodes:
+                    rename[node] = state_nodes[node]
+                else:
+                    fresh = f"{node}@{frame}"
+                    result.add_input(
+                        fresh, key=seq.core.is_key_input(node)
+                    )
+                    rename[node] = fresh
+                continue
+            fresh = f"{node}@{frame}"
+            rename[node] = fresh
+            if gate_type is GateType.CONST0:
+                result.add_const(fresh, 0)
+            elif gate_type is GateType.CONST1:
+                result.add_const(fresh, 1)
+            else:
+                result.add_gate(
+                    fresh,
+                    gate_type,
+                    [rename[f] for f in seq.core.fanins(node)],
+                )
+        for output in seq.primary_outputs:
+            result.add_output(rename[output])
+        state_nodes = {
+            flop.output: rename[flop.data] for flop in seq.flops
+        }
+    result.validate()
+    return result
+
+
+def simulate_sequence(
+    seq: SequentialCircuit,
+    input_sequence: Sequence[Mapping[str, int]],
+    initial_state: Mapping[str, int] | None = None,
+) -> list[dict[str, int]]:
+    """Cycle-accurate simulation; returns per-cycle primary outputs."""
+    state = {flop.output: 0 for flop in seq.flops}
+    state.update(initial_state or {})
+    trace: list[dict[str, int]] = []
+    for cycle, inputs in enumerate(input_sequence):
+        assignment = dict(state)
+        for name in seq.primary_inputs:
+            if name not in inputs:
+                raise CircuitError(
+                    f"cycle {cycle}: missing value for input {name!r}"
+                )
+            assignment[name] = inputs[name]
+        values = simulate_pattern(seq.core, assignment)
+        trace.append({out: values[out] for out in seq.primary_outputs})
+        state = {flop.output: values[flop.data] for flop in seq.flops}
+    return trace
+
+
+def write_bench_sequential(seq: SequentialCircuit) -> str:
+    """Render back to ``.bench`` with ``DFF`` lines."""
+    state = {flop.output for flop in seq.flops}
+    core_text = write_bench(seq.core)
+    lines = []
+    for line in core_text.splitlines():
+        stripped = line.strip()
+        skip = False
+        for q in state:
+            if stripped == f"INPUT({q})":
+                skip = True
+                break
+        if not skip:
+            lines.append(line)
+    for flop in seq.flops:
+        lines.append(f"{flop.output} = DFF({flop.data})")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,215 @@
+"""Structural Verilog netlist I/O (gate-primitive subset).
+
+Many locked-netlist artifacts circulate as structural Verilog rather
+than ``.bench``. This module reads and writes the gate-level subset
+those files use:
+
+- one module with a port list,
+- ``input`` / ``output`` / ``wire`` declarations (scalar nets only),
+- primitive gate instantiations — ``and``, ``nand``, ``or``, ``nor``,
+  ``xor``, ``xnor``, ``not``, ``buf`` — with the output as the first
+  terminal,
+- ``assign a = b;`` aliases and constant assigns (``1'b0`` / ``1'b1``),
+- ``//`` line comments and ``/* */`` block comments.
+
+Key inputs follow the same conventions as the ``.bench`` reader: a
+``// keys: k0 k1 ...`` comment or the ``keyinput`` name prefix.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import GateType
+from repro.errors import ParseError
+
+_PRIMITIVES: dict[str, GateType] = {
+    "and": GateType.AND,
+    "nand": GateType.NAND,
+    "or": GateType.OR,
+    "nor": GateType.NOR,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+    "not": GateType.NOT,
+    "buf": GateType.BUF,
+}
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_$]*|\\[^ ]+ ?"
+_KEY_NAME_PREFIX = "keyinput"
+
+
+def parse_verilog(text: str, name: str | None = None) -> Circuit:
+    """Parse a structural Verilog module into a :class:`Circuit`."""
+    key_names: set[str] = set()
+    for comment in re.findall(r"//(.*)", text):
+        body = comment.strip()
+        if body.lower().startswith("keys:"):
+            key_names.update(body[5:].replace(",", " ").split())
+    cleaned = re.sub(r"/\*.*?\*/", " ", text, flags=re.S)
+    cleaned = re.sub(r"//.*", " ", cleaned)
+
+    module_match = re.search(
+        r"\bmodule\s+(" + _IDENT + r")\s*\((.*?)\)\s*;", cleaned, flags=re.S
+    )
+    if not module_match:
+        raise ParseError("no module declaration found")
+    module_name = module_match.group(1).strip()
+    body_start = module_match.end()
+    end_match = re.search(r"\bendmodule\b", cleaned)
+    if not end_match:
+        raise ParseError("missing endmodule")
+    body = cleaned[body_start : end_match.start()]
+
+    inputs: list[str] = []
+    outputs: list[str] = []
+    statements = [s.strip() for s in body.split(";")]
+    gates: list[tuple[str, GateType, list[str]]] = []
+    aliases: list[tuple[str, str]] = []  # target = source
+    constants: list[tuple[str, int]] = []
+
+    for statement in statements:
+        if not statement:
+            continue
+        keyword_match = re.match(r"^(input|output|wire)\b(.*)$", statement, re.S)
+        if keyword_match:
+            keyword, rest = keyword_match.groups()
+            names = [n.strip() for n in rest.split(",") if n.strip()]
+            for net in names:
+                if not re.fullmatch(_IDENT.replace(" ?", ""), net):
+                    raise ParseError(f"bad net name {net!r}")
+            if keyword == "input":
+                inputs.extend(names)
+            elif keyword == "output":
+                outputs.extend(names)
+            continue
+        assign_match = re.match(
+            r"^assign\s+(" + _IDENT + r")\s*=\s*(.+)$", statement, re.S
+        )
+        if assign_match:
+            target, source = assign_match.groups()
+            source = source.strip()
+            if source in ("1'b0", "1'h0"):
+                constants.append((target.strip(), 0))
+            elif source in ("1'b1", "1'h1"):
+                constants.append((target.strip(), 1))
+            else:
+                aliases.append((target.strip(), source))
+            continue
+        gate_match = re.match(
+            r"^(\w+)\s+(" + _IDENT + r")?\s*\((.*)\)$", statement, re.S
+        )
+        if gate_match:
+            primitive, _instance, terminals_text = gate_match.groups()
+            primitive = primitive.lower()
+            if primitive not in _PRIMITIVES:
+                raise ParseError(
+                    f"unsupported cell {primitive!r} "
+                    "(only gate primitives are supported)"
+                )
+            terminals = [t.strip() for t in terminals_text.split(",")]
+            if len(terminals) < 2:
+                raise ParseError(f"gate {statement!r} needs >= 2 terminals")
+            gates.append(
+                (terminals[0], _PRIMITIVES[primitive], terminals[1:])
+            )
+            continue
+        raise ParseError(f"unrecognized statement {statement!r}")
+
+    circuit = Circuit(name or module_name)
+    for net in inputs:
+        is_key = net in key_names or net.lower().startswith(_KEY_NAME_PREFIX)
+        circuit.add_input(net, key=is_key)
+    for target, value in constants:
+        circuit.add_const(target, value)
+    for target, gate_type, fanins in gates:
+        circuit.add_gate(target, gate_type, fanins)
+    for target, source in aliases:
+        circuit.add_gate(target, GateType.BUF, [source])
+    for net in outputs:
+        circuit.add_output(net)
+    circuit.validate()
+    return circuit
+
+
+def read_verilog(path: str | Path) -> Circuit:
+    path = Path(path)
+    return parse_verilog(path.read_text(), name=path.stem)
+
+
+_GATE_TO_PRIMITIVE = {v: k for k, v in _PRIMITIVES.items()}
+
+
+def write_verilog(circuit: Circuit) -> str:
+    """Render a circuit as a structural Verilog module."""
+    sanitized = _sanitize_names(circuit)
+    lines = [f"// {circuit.name}"]
+    if circuit.key_inputs:
+        lines.append(
+            "// keys: " + " ".join(sanitized[k] for k in circuit.key_inputs)
+        )
+    ports = [sanitized[n] for n in circuit.inputs] + [
+        sanitized[n] for n in circuit.outputs
+    ]
+    lines.append(f"module {_module_name(circuit.name)} ({', '.join(ports)});")
+    for net in circuit.inputs:
+        lines.append(f"  input {sanitized[net]};")
+    for net in circuit.outputs:
+        lines.append(f"  output {sanitized[net]};")
+    wires = [
+        n
+        for n in circuit.nodes
+        if circuit.gate_type(n) is not GateType.INPUT
+        and n not in circuit.outputs
+    ]
+    for net in wires:
+        lines.append(f"  wire {sanitized[net]};")
+    instance = 0
+    for node in circuit.topological_order():
+        gate_type = circuit.gate_type(node)
+        if gate_type is GateType.INPUT:
+            continue
+        if gate_type is GateType.CONST0:
+            lines.append(f"  assign {sanitized[node]} = 1'b0;")
+            continue
+        if gate_type is GateType.CONST1:
+            lines.append(f"  assign {sanitized[node]} = 1'b1;")
+            continue
+        instance += 1
+        primitive = _GATE_TO_PRIMITIVE[gate_type]
+        terminals = ", ".join(
+            [sanitized[node]] + [sanitized[f] for f in circuit.fanins(node)]
+        )
+        lines.append(f"  {primitive} g{instance} ({terminals});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def save_verilog(circuit: Circuit, path: str | Path) -> None:
+    Path(path).write_text(write_verilog(circuit))
+
+
+def _module_name(name: str) -> str:
+    cleaned = re.sub(r"[^A-Za-z0-9_]", "_", name)
+    if not cleaned or not re.match(r"[A-Za-z_]", cleaned):
+        cleaned = f"m_{cleaned}"
+    return cleaned
+
+
+def _sanitize_names(circuit: Circuit) -> dict[str, str]:
+    """Map node names to legal Verilog identifiers (stable, collision-free)."""
+    mapping: dict[str, str] = {}
+    used: set[str] = set()
+    for node in circuit.nodes:
+        candidate = re.sub(r"[^A-Za-z0-9_$]", "_", node)
+        if not re.match(r"[A-Za-z_]", candidate):
+            candidate = f"n_{candidate}"
+        base = candidate
+        suffix = 0
+        while candidate in used:
+            suffix += 1
+            candidate = f"{base}_{suffix}"
+        mapping[node] = candidate
+        used.add(candidate)
+    return mapping

@@ -1,0 +1,156 @@
+"""Command-line entry points.
+
+Three commands (also exposed as console scripts via pyproject):
+
+- ``fall-lock``: lock a ``.bench`` netlist with TTLock/SFLL-HDh (or a
+  baseline scheme) and write the locked ``.bench`` plus the key.
+- ``fall-attack``: run the FALL attack (or the SAT attack) on a locked
+  ``.bench`` netlist, optionally with an oracle netlist.
+- ``fall-experiments``: regenerate the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.attacks.fall.pipeline import fall_attack
+from repro.attacks.oracle import IOOracle
+from repro.attacks.sat_attack import sat_attack
+from repro.circuit.bench_io import read_bench, save_bench
+from repro.locking import (
+    lock_antisat,
+    lock_random_xor,
+    lock_sarlock,
+    lock_sfll_hd,
+    lock_ttlock,
+)
+from repro.utils.timer import Budget
+
+
+def main_lock(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fall-lock", description="Lock a .bench netlist."
+    )
+    parser.add_argument("netlist", help="input .bench file")
+    parser.add_argument("output", help="output .bench file (locked)")
+    parser.add_argument(
+        "--scheme",
+        choices=("ttlock", "sfll", "rll", "sarlock", "antisat"),
+        default="sfll",
+    )
+    parser.add_argument("--h", type=int, default=0, help="SFLL Hamming distance")
+    parser.add_argument("--keys", type=int, default=None, help="key width")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--no-optimize", action="store_true", help="skip the strash pass"
+    )
+    parser.add_argument(
+        "--key-file", default=None, help="write the correct key here"
+    )
+    args = parser.parse_args(argv)
+
+    circuit = read_bench(args.netlist)
+    optimize_netlist = not args.no_optimize
+    if args.scheme == "ttlock":
+        locked = lock_ttlock(
+            circuit, key_width=args.keys, seed=args.seed,
+            optimize_netlist=optimize_netlist,
+        )
+    elif args.scheme == "sfll":
+        locked = lock_sfll_hd(
+            circuit, h=args.h, key_width=args.keys, seed=args.seed,
+            optimize_netlist=optimize_netlist,
+        )
+    elif args.scheme == "rll":
+        locked = lock_random_xor(
+            circuit, key_width=args.keys or 32, seed=args.seed,
+            optimize_netlist=optimize_netlist,
+        )
+    elif args.scheme == "sarlock":
+        locked = lock_sarlock(
+            circuit, key_width=args.keys, seed=args.seed,
+            optimize_netlist=optimize_netlist,
+        )
+    else:
+        locked = lock_antisat(
+            circuit, key_width=args.keys, seed=args.seed,
+            optimize_netlist=optimize_netlist,
+        )
+    save_bench(locked.circuit, args.output)
+    key_text = "".join(str(b) for b in locked.reveal_correct_key())
+    if args.key_file:
+        with open(args.key_file, "w") as handle:
+            handle.write(key_text + "\n")
+    print(f"locked {args.netlist} -> {args.output}")
+    print(f"scheme={locked.scheme} keys={locked.key_width} correct_key={key_text}")
+    return 0
+
+
+def main_attack(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fall-attack", description="Attack a locked .bench netlist."
+    )
+    parser.add_argument("netlist", help="locked .bench file (key inputs marked)")
+    parser.add_argument(
+        "--attack", choices=("fall", "sat"), default="fall"
+    )
+    parser.add_argument("--h", type=int, default=0, help="SFLL Hamming distance")
+    parser.add_argument(
+        "--oracle",
+        default=None,
+        help="unlocked .bench file to answer I/O queries",
+    )
+    parser.add_argument("--time-limit", type=float, default=1000.0)
+    args = parser.parse_args(argv)
+
+    locked = read_bench(args.netlist)
+    oracle = IOOracle(read_bench(args.oracle)) if args.oracle else None
+    budget = Budget(args.time_limit)
+    if args.attack == "sat":
+        if oracle is None:
+            parser.error("the SAT attack requires --oracle")
+        result = sat_attack(locked, oracle, budget=budget)
+    else:
+        result = fall_attack(locked, h=args.h, oracle=oracle, budget=budget)
+    print(result.summary())
+    if result.key is not None:
+        print("key:", "".join(str(b) for b in result.key))
+        return 0
+    if result.candidates:
+        for candidate in result.candidates:
+            print("candidate:", "".join(str(b) for b in candidate))
+        return 0
+    return 1
+
+
+def main_experiments(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fall-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=("table1", "fig5", "fig6", "summary", "all"),
+    )
+    parser.add_argument("--csv", default=None, help="also write CSV here")
+    args = parser.parse_args(argv)
+
+    from repro.experiments import fig5, fig6, summary, table1
+
+    mains = {
+        "table1": table1.main,
+        "fig5": fig5.main,
+        "fig6": fig6.main,
+        "summary": summary.main,
+    }
+    if args.artifact == "all":
+        for name, entry in mains.items():
+            print(entry(csv_path=f"{args.csv}.{name}.csv" if args.csv else None))
+    else:
+        print(mains[args.artifact](csv_path=args.csv))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual dispatch helper
+    sys.exit(main_experiments(sys.argv[1:]))

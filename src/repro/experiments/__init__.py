@@ -1,0 +1,32 @@
+"""Experiment harness reproducing the paper's evaluation (§VI).
+
+One module per artifact: Table I (:mod:`repro.experiments.table1`),
+Figure 5 (:mod:`repro.experiments.fig5`), Figure 6
+(:mod:`repro.experiments.fig6`) and the §VI-B headline statistics
+(:mod:`repro.experiments.summary`). The benchmark suite substitutes
+profile-matched synthetic circuits for the ISCAS/MCNC netlists (see
+DESIGN.md "Substitutions"); scaling is controlled by ``REPRO_FULL`` /
+``REPRO_MAX_KEYS`` / ``REPRO_TIME_LIMIT`` environment variables so the
+default run is laptop-friendly while the paper-scale run stays one flag
+away.
+"""
+
+from repro.experiments.profiles import (
+    CircuitProfile,
+    TABLE1_PROFILES,
+    active_profiles,
+)
+from repro.experiments.suite import LockedBenchmark, build_benchmark, build_suite
+from repro.experiments.runner import run_fall, run_sat_attack, run_key_confirmation
+
+__all__ = [
+    "CircuitProfile",
+    "TABLE1_PROFILES",
+    "active_profiles",
+    "LockedBenchmark",
+    "build_benchmark",
+    "build_suite",
+    "run_fall",
+    "run_sat_attack",
+    "run_key_confirmation",
+]

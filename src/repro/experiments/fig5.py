@@ -1,0 +1,111 @@
+"""Figure 5 reproduction: circuit analyses, time vs #benchmarks solved.
+
+Four panels, one per Hamming-distance setting:
+
+- SFLL-HD0: SAT attack vs AnalyzeUnateness (via the FALL pipeline),
+- h = m/8: SAT attack vs SlidingWindow vs Distance2H,
+- h = m/4: same three,
+- h = m/3: SAT attack vs SlidingWindow (Distance2H inapplicable, 4h > m).
+
+For each (circuit, attack) cell we record the solve time (or timeout);
+a panel's cactus series is the sorted list of solve times. The paper's
+shape to reproduce: the functional analyses solve (nearly) everything
+well inside the limit while the SAT attack solves (almost) nothing;
+Distance2H dominates SlidingWindow as h grows.
+
+Run: ``python -m repro.experiments.fig5 [panel]``.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+from repro.experiments.profiles import active_profiles, time_limit_seconds
+from repro.experiments.report import render_cactus, render_table, write_csv
+from repro.experiments.runner import RunRecord, run_fall, run_sat_attack
+from repro.experiments.suite import build_benchmark
+
+PANELS: dict[str, tuple[str, ...]] = {
+    "hd0": ("AnalyzeUnateness", "SAT-Attack"),
+    "m/8": ("SlidingWindow", "Distance2H", "SAT-Attack"),
+    "m/4": ("SlidingWindow", "Distance2H", "SAT-Attack"),
+    "m/3": ("SlidingWindow", "SAT-Attack"),
+}
+
+# Panel line -> fall_attack(analyses=...) restriction.
+_ANALYSIS_OF = {
+    "AnalyzeUnateness": ("unateness",),
+    "SlidingWindow": ("sliding_window",),
+    "Distance2H": ("distance2h",),
+}
+
+
+@dataclass
+class PanelResult:
+    label: str
+    total: int
+    series: dict[str, list[float]]  # attack -> solve times (solved only)
+    records: list[RunRecord]
+
+
+def run_panel(label: str, time_limit: float | None = None) -> PanelResult:
+    """Execute one Figure 5 panel over the active profiles."""
+    limit = time_limit if time_limit is not None else time_limit_seconds()
+    profiles = active_profiles()
+    series: dict[str, list[float]] = {name: [] for name in PANELS[label]}
+    records: list[RunRecord] = []
+    for profile in profiles:
+        benchmark = build_benchmark(profile, label)
+        for attack_name in PANELS[label]:
+            if attack_name == "SAT-Attack":
+                record = run_sat_attack(benchmark, limit)
+            else:
+                record = run_fall(
+                    benchmark,
+                    limit,
+                    analyses=_ANALYSIS_OF[attack_name],
+                    attack_label=attack_name,
+                )
+            records.append(record)
+            if record.solved:
+                series[attack_name].append(record.elapsed_seconds)
+    return PanelResult(
+        label=label, total=len(profiles), series=series, records=records
+    )
+
+
+def main(panel: str | None = None, csv_path: str | None = None) -> str:
+    labels = [panel] if panel else list(PANELS)
+    out = []
+    rows = []
+    for label in labels:
+        result = run_panel(label)
+        out.append(
+            render_cactus(
+                result.series,
+                time_limit_seconds(),
+                result.total,
+                title=f"Figure 5 panel: SFLL-HD {label}",
+            )
+        )
+        for record in result.records:
+            rows.append(record.row())
+    out.append(
+        render_table(
+            ("benchmark", "attack", "status", "solved", "t[s]", "queries", "shortlist"),
+            rows,
+            title="Figure 5 raw records",
+        )
+    )
+    if csv_path:
+        write_csv(
+            csv_path,
+            ("benchmark", "attack", "status", "solved", "t", "queries", "shortlist"),
+            rows,
+        )
+    return "\n".join(out)
+
+
+if __name__ == "__main__":
+    print(main(sys.argv[1] if len(sys.argv) > 1 else None))

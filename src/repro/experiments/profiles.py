@@ -1,0 +1,106 @@
+"""Benchmark circuit profiles (paper Table I).
+
+The paper evaluates on 20 ISCAS'85 + MCNC circuits. Each profile below
+records the published interface and size: inputs, outputs, key width and
+original gate count. The actual netlists are substituted by seeded
+synthetic circuits with the same profile (DESIGN.md "Substitutions").
+
+Scaling: the paper ran 64-bit keys on a 28-core Xeon with a 1000 s
+limit. The default configuration here shrinks key widths and gate
+counts so the whole evaluation runs on a laptop in minutes; set
+``REPRO_FULL=1`` for paper-scale parameters, or tune individually via
+``REPRO_MAX_KEYS`` / ``REPRO_MAX_GATES`` / ``REPRO_CIRCUITS``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CircuitProfile:
+    """Published interface of one Table I benchmark circuit."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    key_width: int
+    num_gates: int
+
+    def seed(self) -> int:
+        """Deterministic per-circuit generation seed."""
+        return sum(ord(ch) * (index + 1) for index, ch in enumerate(self.name))
+
+
+# Table I of the paper: ckt, #in, #out, #keys, #gates (original).
+TABLE1_PROFILES: tuple[CircuitProfile, ...] = (
+    CircuitProfile("ex1010", 10, 10, 10, 2754),
+    CircuitProfile("apex4", 10, 19, 10, 2886),
+    CircuitProfile("c1908", 33, 25, 33, 414),
+    CircuitProfile("c432", 36, 7, 36, 209),
+    CircuitProfile("apex2", 39, 3, 39, 345),
+    CircuitProfile("c1355", 41, 32, 41, 504),
+    CircuitProfile("seq", 41, 35, 41, 1964),
+    CircuitProfile("c499", 41, 32, 41, 400),
+    CircuitProfile("k2", 46, 45, 46, 1474),
+    CircuitProfile("c3540", 50, 22, 50, 1038),
+    CircuitProfile("c880", 60, 26, 60, 327),
+    CircuitProfile("dalu", 75, 16, 64, 1202),
+    CircuitProfile("i9", 88, 63, 64, 591),
+    CircuitProfile("i8", 133, 81, 64, 1725),
+    CircuitProfile("c5315", 178, 123, 64, 1773),
+    CircuitProfile("i4", 192, 6, 64, 246),
+    CircuitProfile("i7", 199, 67, 64, 663),
+    CircuitProfile("c7552", 207, 108, 64, 2074),
+    CircuitProfile("c2670", 233, 140, 64, 717),
+    CircuitProfile("des", 256, 245, 64, 3839),
+)
+
+# The Hamming-distance settings of Figure 5, as fractions of key width.
+H_SETTINGS: tuple[tuple[str, int], ...] = (
+    ("hd0", 0),
+    ("m/8", 8),
+    ("m/4", 4),
+    ("m/3", 3),
+)
+
+
+def h_for(label: str, key_width: int) -> int:
+    """The h value for a Figure 5 panel label and key width."""
+    if label == "hd0":
+        return 0
+    divisor = int(label.split("/")[1])
+    return key_width // divisor
+
+
+def is_full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+def active_profiles() -> list[CircuitProfile]:
+    """Profiles after applying the environment scaling knobs."""
+    if is_full_scale():
+        selected = list(TABLE1_PROFILES)
+    else:
+        max_keys = int(os.environ.get("REPRO_MAX_KEYS", "16"))
+        max_gates = int(os.environ.get("REPRO_MAX_GATES", "400"))
+        count = int(os.environ.get("REPRO_CIRCUITS", "8"))
+        selected = [
+            replace(
+                profile,
+                key_width=min(profile.key_width, max_keys),
+                num_gates=min(profile.num_gates, max_gates),
+                num_inputs=min(profile.num_inputs, 64),
+                num_outputs=min(profile.num_outputs, 16),
+            )
+            for profile in TABLE1_PROFILES[:count]
+        ]
+    return selected
+
+
+def time_limit_seconds() -> float:
+    """Per-attack time limit (paper: 1000 s; default here: 30 s)."""
+    if "REPRO_TIME_LIMIT" in os.environ:
+        return float(os.environ["REPRO_TIME_LIMIT"])
+    return 1000.0 if is_full_scale() else 30.0

@@ -1,0 +1,140 @@
+"""Timed attack execution + success classification for the harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.fall.pipeline import fall_attack
+from repro.attacks.key_confirmation import key_confirmation
+from repro.attacks.oracle import IOOracle
+from repro.attacks.results import AttackResult, AttackStatus
+from repro.attacks.sat_attack import sat_attack
+from repro.circuit.equivalence import check_equivalence
+from repro.experiments.suite import LockedBenchmark
+from repro.utils.timer import Budget
+
+
+@dataclass
+class RunRecord:
+    """One attack execution on one benchmark."""
+
+    benchmark: str
+    attack: str
+    status: AttackStatus
+    solved: bool
+    correct_key: bool
+    elapsed_seconds: float
+    oracle_queries: int
+    shortlist_size: int
+    details: dict
+
+    def row(self) -> tuple:
+        return (
+            self.benchmark,
+            self.attack,
+            self.status.value,
+            "yes" if self.solved else "no",
+            f"{self.elapsed_seconds:.2f}",
+            self.oracle_queries,
+            self.shortlist_size,
+        )
+
+
+def _verify_key(benchmark: LockedBenchmark, key: tuple[int, ...] | None) -> bool:
+    """Defender-side success check: does the recovered key unlock?"""
+    if key is None:
+        return False
+    unlocked = benchmark.locked.unlocked_with(key)
+    result = check_equivalence(benchmark.original, unlocked)
+    return bool(result.proved)
+
+
+def _record(
+    benchmark: LockedBenchmark, result: AttackResult, solved: bool
+) -> RunRecord:
+    correct = _verify_key(benchmark, result.key) if result.key else False
+    report = result.details.get("report")
+    shortlist = len(result.candidates)
+    details = dict(result.details)
+    if report is not None:
+        details = {
+            "oracle_less": report.oracle_less,
+            "candidates": len(report.candidate_nodes),
+            "analyses": report.analyses_attempted,
+            "candidate_keys": tuple(report.candidate_keys),
+        }
+    return RunRecord(
+        benchmark=benchmark.name,
+        attack=result.attack,
+        status=result.status,
+        solved=solved and (correct or result.key is None),
+        correct_key=correct,
+        elapsed_seconds=result.elapsed_seconds,
+        oracle_queries=result.oracle_queries,
+        shortlist_size=shortlist,
+        details=details,
+    )
+
+
+def run_fall(
+    benchmark: LockedBenchmark,
+    time_limit: float,
+    with_oracle: bool = True,
+    analyses: tuple[str, ...] | None = None,
+    attack_label: str | None = None,
+) -> RunRecord:
+    """FALL on one benchmark; success = correct key recovered, or a
+    shortlist containing the correct key when no oracle is available
+    (the paper counts multi-key shortlists as defeats, §VI-B)."""
+    oracle = IOOracle(benchmark.original) if with_oracle else None
+    result = fall_attack(
+        benchmark.locked.circuit,
+        h=benchmark.h,
+        oracle=oracle,
+        budget=Budget(time_limit),
+        analyses=analyses,
+    )
+    if attack_label:
+        result.attack = attack_label
+    if result.status is AttackStatus.SUCCESS:
+        solved = True
+    elif result.status is AttackStatus.MULTIPLE_CANDIDATES:
+        solved = any(
+            _verify_key(benchmark, candidate) for candidate in result.candidates
+        )
+    else:
+        solved = False
+    record = _record(benchmark, result, solved)
+    return record
+
+
+def run_sat_attack(
+    benchmark: LockedBenchmark,
+    time_limit: float,
+    max_iterations: int | None = None,
+) -> RunRecord:
+    oracle = IOOracle(benchmark.original)
+    result = sat_attack(
+        benchmark.locked.circuit,
+        oracle,
+        budget=Budget(time_limit),
+        max_iterations=max_iterations,
+    )
+    solved = result.status is AttackStatus.SUCCESS
+    return _record(benchmark, result, solved)
+
+
+def run_key_confirmation(
+    benchmark: LockedBenchmark,
+    candidates: list[tuple[int, ...]],
+    time_limit: float,
+) -> RunRecord:
+    oracle = IOOracle(benchmark.original)
+    result = key_confirmation(
+        benchmark.locked.circuit,
+        oracle,
+        candidates,
+        budget=Budget(time_limit),
+    )
+    solved = result.status is AttackStatus.SUCCESS
+    return _record(benchmark, result, solved)

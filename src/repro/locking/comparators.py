@@ -1,0 +1,212 @@
+"""Circuit-level comparator and popcount builders.
+
+The building blocks of stripped-functionality locking (paper Figure 1):
+
+- equality comparators (TTLock's restoration unit),
+- constant-folded cube detectors (the functionality-stripped circuit,
+  where the protected cube is hard-coded),
+- Hamming-distance-equals-h comparators (SFLL-HDh), built from an XOR
+  difference layer, a full/half-adder popcount tree and a constant
+  equality check.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import GateType
+from repro.errors import LockingError
+
+
+def add_cube_detector(
+    circuit: Circuit,
+    inputs: Sequence[str],
+    cube: Sequence[int],
+    prefix: str = "strip",
+) -> str:
+    """AND of the cube literals: 1 iff the inputs match ``cube``.
+
+    This is TTLock's functionality-stripping gate (the paper's node F in
+    Figure 2b) with the protected cube hard-coded: inverters are folded
+    onto the inputs whose cube bit is 0.
+    """
+    _check_widths(inputs, cube)
+    literals: list[str] = []
+    for name, bit in zip(inputs, cube):
+        if bit:
+            literals.append(name)
+        else:
+            inv = circuit.fresh_name(f"{prefix}_inv")
+            circuit.add_gate(inv, GateType.NOT, [name])
+            literals.append(inv)
+    top = circuit.fresh_name(f"{prefix}_and")
+    circuit.add_gate(top, GateType.AND, literals)
+    return top
+
+
+def add_equality_comparator(
+    circuit: Circuit,
+    left: Sequence[str],
+    right: Sequence[str],
+    prefix: str = "cmp",
+) -> str:
+    """1 iff the two vectors are equal (XNOR layer + AND tree).
+
+    TTLock's functionality-restoration comparator: ``left`` are circuit
+    inputs, ``right`` the key inputs (paper Figure 2b nodes c1..c4).
+    """
+    if len(left) != len(right):
+        raise LockingError("comparator vector widths differ")
+    bits: list[str] = []
+    for a, b in zip(left, right):
+        bit = circuit.fresh_name(f"{prefix}_eq")
+        circuit.add_gate(bit, GateType.XNOR, [a, b])
+        bits.append(bit)
+    top = circuit.fresh_name(f"{prefix}_and")
+    circuit.add_gate(top, GateType.AND, bits)
+    return top
+
+
+def add_difference_bits(
+    circuit: Circuit,
+    left: Sequence[str],
+    right: Sequence[str] | Sequence[int],
+    prefix: str = "hd",
+) -> list[str]:
+    """Per-position difference bits.
+
+    ``right`` may be node names (restoration unit: XOR gates against the
+    key inputs) or constant bits (stripping unit: the hard-coded cube,
+    where XOR-with-constant folds to a wire or an inverter).
+    """
+    if len(left) != len(right):
+        raise LockingError("difference vector widths differ")
+    bits: list[str] = []
+    for index, (a, b) in enumerate(zip(left, right)):
+        if isinstance(b, str):
+            bit = circuit.fresh_name(f"{prefix}_d{index}")
+            circuit.add_gate(bit, GateType.XOR, [a, b])
+            bits.append(bit)
+        elif b in (0, 1):
+            if b == 0:
+                bits.append(a)
+            else:
+                bit = circuit.fresh_name(f"{prefix}_d{index}")
+                circuit.add_gate(bit, GateType.NOT, [a])
+                bits.append(bit)
+        else:
+            raise LockingError(f"bad comparison target {b!r}")
+    return bits
+
+
+def add_popcount(
+    circuit: Circuit, bits: Sequence[str], prefix: str = "pc"
+) -> list[str]:
+    """Binary popcount of ``bits`` via a full/half-adder reduction tree.
+
+    Returns the sum bits, LSB first. This is the adder tree the paper
+    mentions when discussing why large-h SlidingWindow queries are hard
+    ("more adder gates in the Hamming Distance computation", §VI-B).
+    """
+    if not bits:
+        raise LockingError("popcount of zero bits")
+    # columns[w] holds nodes of weight 2^w awaiting reduction.
+    columns: list[list[str]] = [list(bits)]
+    result: list[str] = []
+    weight = 0
+    while weight < len(columns):
+        column = columns[weight]
+        while len(column) >= 3:
+            a, b, c = column.pop(), column.pop(), column.pop()
+            sum_bit, carry = _full_adder(circuit, a, b, c, prefix, weight)
+            column.append(sum_bit)
+            _push(columns, weight + 1, carry)
+        if len(column) == 2:
+            a, b = column.pop(), column.pop()
+            sum_bit, carry = _half_adder(circuit, a, b, prefix, weight)
+            column.append(sum_bit)
+            _push(columns, weight + 1, carry)
+        result.append(column[0])
+        weight += 1
+    return result
+
+
+def add_popcount_equals(
+    circuit: Circuit,
+    bits: Sequence[str],
+    value: int,
+    prefix: str = "pceq",
+) -> str:
+    """1 iff exactly ``value`` of ``bits`` are 1."""
+    if not 0 <= value <= len(bits):
+        raise LockingError(
+            f"popcount of {len(bits)} bits can never equal {value}"
+        )
+    sum_bits = add_popcount(circuit, bits, prefix=prefix)
+    literals: list[str] = []
+    for index, bit in enumerate(sum_bits):
+        if (value >> index) & 1:
+            literals.append(bit)
+        else:
+            inv = circuit.fresh_name(f"{prefix}_inv{index}")
+            circuit.add_gate(inv, GateType.NOT, [bit])
+            literals.append(inv)
+    if len(literals) == 1:
+        return literals[0]
+    top = circuit.fresh_name(f"{prefix}_and")
+    circuit.add_gate(top, GateType.AND, literals)
+    return top
+
+
+def add_hamming_distance_equals(
+    circuit: Circuit,
+    left: Sequence[str],
+    right: Sequence[str] | Sequence[int],
+    distance: int,
+    prefix: str = "hdeq",
+) -> str:
+    """1 iff ``HD(left, right) == distance`` — the SFLL-HDh comparator."""
+    diffs = add_difference_bits(circuit, left, right, prefix=prefix)
+    return add_popcount_equals(circuit, diffs, distance, prefix=prefix)
+
+
+def _full_adder(
+    circuit: Circuit, a: str, b: str, c: str, prefix: str, weight: int
+) -> tuple[str, str]:
+    s = circuit.fresh_name(f"{prefix}_s{weight}")
+    circuit.add_gate(s, GateType.XOR, [a, b, c])
+    ab = circuit.fresh_name(f"{prefix}_ab{weight}")
+    circuit.add_gate(ab, GateType.AND, [a, b])
+    bc = circuit.fresh_name(f"{prefix}_bc{weight}")
+    circuit.add_gate(bc, GateType.AND, [b, c])
+    ca = circuit.fresh_name(f"{prefix}_ca{weight}")
+    circuit.add_gate(ca, GateType.AND, [c, a])
+    carry = circuit.fresh_name(f"{prefix}_c{weight}")
+    circuit.add_gate(carry, GateType.OR, [ab, bc, ca])
+    return s, carry
+
+
+def _half_adder(
+    circuit: Circuit, a: str, b: str, prefix: str, weight: int
+) -> tuple[str, str]:
+    s = circuit.fresh_name(f"{prefix}_hs{weight}")
+    circuit.add_gate(s, GateType.XOR, [a, b])
+    carry = circuit.fresh_name(f"{prefix}_hc{weight}")
+    circuit.add_gate(carry, GateType.AND, [a, b])
+    return s, carry
+
+
+def _push(columns: list[list[str]], weight: int, node: str) -> None:
+    while len(columns) <= weight:
+        columns.append([])
+    columns[weight].append(node)
+
+
+def _check_widths(inputs: Sequence[str], cube: Sequence[int]) -> None:
+    if len(inputs) != len(cube):
+        raise LockingError(
+            f"cube width {len(cube)} does not match input count {len(inputs)}"
+        )
+    if any(bit not in (0, 1) for bit in cube):
+        raise LockingError("cube bits must be 0 or 1")

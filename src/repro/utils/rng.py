@@ -1,0 +1,39 @@
+"""Deterministic random number generation.
+
+Every randomized component (benchmark generation, locking cube selection,
+random simulation) accepts either a seed or an existing ``random.Random``;
+``make_rng`` normalizes both into a ``random.Random`` instance so results
+are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import random
+
+RngLike = random.Random | int | None
+
+
+def make_rng(seed_or_rng: RngLike = None) -> random.Random:
+    """Return a ``random.Random``; ints seed a fresh generator.
+
+    ``None`` also produces a *seeded* generator (seed 0) — this library
+    prefers reproducibility over entropy, since experiment tables must be
+    regenerable.
+    """
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    if seed_or_rng is None:
+        return random.Random(0)
+    return random.Random(seed_or_rng)
+
+
+def random_bits(rng: random.Random, width: int) -> tuple[int, ...]:
+    """A uniform random 0/1 tuple of the given width."""
+    return tuple(rng.getrandbits(1) for _ in range(width))
+
+
+def random_word(rng: random.Random, width: int) -> int:
+    """A uniform random integer in [0, 2**width)."""
+    if width <= 0:
+        return 0
+    return rng.getrandbits(width)

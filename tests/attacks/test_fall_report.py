@@ -1,0 +1,89 @@
+"""Tests for FALL's stage bookkeeping and end-to-end properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import IOOracle, fall_attack
+from repro.attacks.fall.pipeline import ANALYSIS_NAMES, FallReport
+from repro.attacks.results import AttackStatus
+from repro.circuit.equivalence import check_equivalence
+from repro.circuit.library import paper_example_circuit
+from repro.circuit.random_circuits import generate_random_circuit
+from repro.errors import AttackError
+from repro.locking import lock_sfll_hd, lock_ttlock
+
+
+class TestReportBookkeeping:
+    def test_stage_timings_recorded(self):
+        locked = lock_ttlock(paper_example_circuit(), cube=(1, 0, 0, 1))
+        result = fall_attack(locked.circuit, h=0)
+        report: FallReport = result.details["report"]
+        for stage in ("comparators", "support_match", "functional_analysis",
+                      "key_derivation"):
+            assert stage in report.stage_seconds
+            assert report.stage_seconds[stage] >= 0.0
+
+    def test_comparator_pairing_recorded(self):
+        locked = lock_ttlock(paper_example_circuit(), cube=(1, 0, 0, 1))
+        result = fall_attack(locked.circuit, h=0)
+        report = result.details["report"]
+        assert report.pairing == dict(zip("abcd", locked.key_names))
+        assert len(report.comparators) >= 4
+
+    def test_scan_complete_flag(self):
+        locked = lock_ttlock(paper_example_circuit(), cube=(1, 0, 0, 1))
+        result = fall_attack(locked.circuit, h=0)
+        assert result.details["report"].scan_complete
+
+    def test_confirmed_cubes_subset_of_candidates(self):
+        locked = lock_sfll_hd(paper_example_circuit(), h=1, cube=(1, 0, 0, 1))
+        result = fall_attack(locked.circuit, h=1)
+        report = result.details["report"]
+        assert report.confirmed_cubes
+        for cube in report.confirmed_cubes:
+            assert set(cube) == set("abcd")
+
+    def test_unknown_analysis_rejected(self):
+        locked = lock_ttlock(paper_example_circuit())
+        with pytest.raises(AttackError):
+            fall_attack(locked.circuit, h=0, analyses=("magic",))
+
+    def test_analysis_names_constant(self):
+        assert set(ANALYSIS_NAMES) == {
+            "unateness",
+            "distance2h",
+            "sliding_window",
+        }
+
+    def test_explicit_analyses_respected(self):
+        locked = lock_sfll_hd(paper_example_circuit(), h=1, cube=(1, 0, 0, 1))
+        # Unateness alone cannot break HD1.
+        result = fall_attack(locked.circuit, h=1, analyses=("unateness",))
+        assert result.status in (AttackStatus.FAILED, AttackStatus.TIMEOUT)
+        # Either HD analysis alone can.
+        for analysis in ("distance2h", "sliding_window"):
+            result = fall_attack(locked.circuit, h=1, analyses=(analysis,))
+            assert result.status is AttackStatus.SUCCESS, analysis
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    h=st.integers(min_value=0, max_value=2),
+)
+def test_fall_end_to_end_property(seed, h):
+    """Property: FALL + oracle defeats small SFLL-HDh instances.
+
+    "Defeats" in the paper's sense: the recovered key (or some
+    shortlisted key) unlocks the circuit exactly.
+    """
+    original = generate_random_circuit("e2e", 10, 3, 70, seed=seed)
+    locked = lock_sfll_hd(original, h=h, key_width=8, seed=seed + 1)
+    oracle = IOOracle(original)
+    result = fall_attack(locked.circuit, h=h, oracle=oracle)
+    assert result.status is AttackStatus.SUCCESS
+    unlocked = locked.unlocked_with(result.key)
+    assert check_equivalence(original, unlocked).proved

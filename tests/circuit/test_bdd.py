@@ -1,0 +1,204 @@
+"""Tests for the ROBDD engine, cross-checked against simulation and SAT."""
+
+from __future__ import annotations
+
+from math import comb
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.bdd import Bdd, bdd_from_circuit
+from repro.circuit.circuit import Circuit
+from repro.circuit.equivalence import check_equivalence
+from repro.circuit.gates import GateType
+from repro.circuit.library import c17, paper_example_circuit
+from repro.circuit.random_circuits import generate_random_circuit
+from repro.circuit.simulate import truth_table
+from repro.errors import CircuitError
+from repro.locking.comparators import add_hamming_distance_equals
+
+
+class TestPrimitives:
+    def test_terminals(self):
+        bdd = Bdd(["a"])
+        assert bdd.FALSE == 0 and bdd.TRUE == 1
+        assert bdd.not_(bdd.TRUE) == bdd.FALSE
+
+    def test_variable_semantics(self):
+        bdd = Bdd(["a"])
+        a = bdd.var("a")
+        assert bdd.evaluate(a, {"a": 1}) == 1
+        assert bdd.evaluate(a, {"a": 0}) == 0
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(CircuitError):
+            Bdd(["a"]).var("z")
+
+    def test_duplicate_order_rejected(self):
+        with pytest.raises(CircuitError):
+            Bdd(["a", "a"])
+
+    def test_hash_consing(self):
+        bdd = Bdd(["a", "b"])
+        f = bdd.and_(bdd.var("a"), bdd.var("b"))
+        g = bdd.and_(bdd.var("b"), bdd.var("a"))
+        assert f == g  # canonical form: equal functions, equal nodes
+
+    def test_complement_cancellation(self):
+        bdd = Bdd(["a"])
+        a = bdd.var("a")
+        assert bdd.and_(a, bdd.not_(a)) == bdd.FALSE
+        assert bdd.or_(a, bdd.not_(a)) == bdd.TRUE
+
+    def test_xor_parity(self):
+        bdd = Bdd(["a", "b", "c"])
+        f = bdd.xor_many([bdd.var("a"), bdd.var("b"), bdd.var("c")])
+        for pattern in range(8):
+            assignment = {
+                "a": pattern & 1,
+                "b": (pattern >> 1) & 1,
+                "c": (pattern >> 2) & 1,
+            }
+            expected = bin(pattern).count("1") % 2
+            assert bdd.evaluate(f, assignment) == expected
+
+    def test_node_limit(self):
+        bdd = Bdd([f"x{i}" for i in range(20)], max_nodes=10)
+        with pytest.raises(CircuitError):
+            bdd.xor_many([bdd.var(f"x{i}") for i in range(20)])
+
+
+class TestCounting:
+    def test_constant_counts(self):
+        bdd = Bdd(["a", "b"])
+        assert bdd.satisfy_count(bdd.FALSE) == 0
+        assert bdd.satisfy_count(bdd.TRUE) == 4
+
+    def test_single_variable(self):
+        bdd = Bdd(["a", "b", "c"])
+        assert bdd.satisfy_count(bdd.var("b")) == 4  # b=1, a/c free
+
+    def test_and_or(self):
+        bdd = Bdd(["a", "b"])
+        a, b = bdd.var("a"), bdd.var("b")
+        assert bdd.satisfy_count(bdd.and_(a, b)) == 1
+        assert bdd.satisfy_count(bdd.or_(a, b)) == 3
+
+    def test_probability(self):
+        bdd = Bdd(["a", "b"])
+        assert bdd.probability(bdd.and_(bdd.var("a"), bdd.var("b"))) == 0.25
+
+    def test_hamming_shell_count(self):
+        # The strip_h function has exactly C(m, h) minterms — the count
+        # SFLL's corruption analysis relies on.
+        m, h = 8, 2
+        circuit = Circuit("shell")
+        names = [f"x{i}" for i in range(m)]
+        for name in names:
+            circuit.add_input(name)
+        cube = [(i * 3 + 1) % 2 for i in range(m)]
+        top = add_hamming_distance_equals(circuit, names, cube, h)
+        circuit.add_output(top)
+        bdd, root = bdd_from_circuit(circuit)
+        assert bdd.satisfy_count(root) == comb(m, h)
+
+
+class TestUnateness:
+    def test_cube_is_unate_everywhere(self):
+        bdd = Bdd(["a", "b", "c"])
+        f = bdd.and_many(
+            [bdd.var("a"), bdd.not_(bdd.var("b")), bdd.var("c")]
+        )
+        assert bdd.is_positive_unate_in(f, "a")
+        assert bdd.is_negative_unate_in(f, "b")
+        assert bdd.is_positive_unate_in(f, "c")
+        assert not bdd.is_negative_unate_in(f, "a")
+
+    def test_xor_is_binate(self):
+        bdd = Bdd(["a", "b"])
+        f = bdd.xor_(bdd.var("a"), bdd.var("b"))
+        assert not bdd.is_positive_unate_in(f, "a")
+        assert not bdd.is_negative_unate_in(f, "a")
+
+    def test_independent_variable_is_both(self):
+        bdd = Bdd(["a", "b"])
+        f = bdd.var("a")
+        assert bdd.is_positive_unate_in(f, "b")
+        assert bdd.is_negative_unate_in(f, "b")
+
+    def test_matches_sat_unateness_on_cubes(self):
+        # Cross-check the BDD unateness test against AnalyzeUnateness.
+        from repro.attacks.fall.unateness import analyze_unateness
+        from repro.locking.comparators import add_cube_detector
+
+        circuit = Circuit("cube")
+        names = ["a", "b", "c", "d"]
+        for name in names:
+            circuit.add_input(name)
+        top = add_cube_detector(circuit, names, [1, 0, 0, 1])
+        circuit.add_output(top)
+        sat_cube = analyze_unateness(circuit)
+        bdd, root = bdd_from_circuit(circuit)
+        bdd_cube = {}
+        for name in names:
+            if bdd.is_positive_unate_in(root, name):
+                bdd_cube[name] = 1
+            elif bdd.is_negative_unate_in(root, name):
+                bdd_cube[name] = 0
+        assert bdd_cube == sat_cube
+
+
+class TestFromCircuit:
+    def test_truth_table_agreement_paper_example(self):
+        circuit = paper_example_circuit()
+        bdd, root = bdd_from_circuit(circuit)
+        table = truth_table(circuit)
+        for pattern in range(16):
+            assignment = {
+                name: (pattern >> i) & 1
+                for i, name in enumerate(circuit.inputs)
+            }
+            assert bdd.evaluate(root, assignment) == (table >> pattern) & 1
+
+    def test_multi_output_requires_node(self):
+        with pytest.raises(CircuitError):
+            bdd_from_circuit(c17())
+
+    def test_specific_node(self):
+        bdd, root = bdd_from_circuit(c17(), node="G22")
+        assert bdd.satisfy_count(root) > 0
+
+    def test_equivalence_agreement_with_sat_cec(self):
+        # Canonicity: two circuits are equivalent iff their roots in a
+        # shared manager coincide; must agree with the SAT-based CEC.
+        from repro.circuit.bdd import build_in_manager
+
+        left = generate_random_circuit("l", 7, 1, 40, seed=11)
+        different = generate_random_circuit("r", 7, 1, 40, seed=12)
+        different = different.renamed({}, name="l")
+        manager, left_root = bdd_from_circuit(left, order=list(left.inputs))
+        other_root = build_in_manager(manager, different)
+        same_root = build_in_manager(manager, left.copy())
+        assert (left_root == other_root) == check_equivalence(
+            left, different
+        ).proved
+        assert same_root == left_root
+
+    def test_any_satisfying(self):
+        circuit = paper_example_circuit()
+        bdd, root = bdd_from_circuit(circuit)
+        witness = bdd.any_satisfying(root)
+        assert witness is not None
+        assert bdd.evaluate(root, witness) == 1
+        assert bdd.any_satisfying(bdd.FALSE) is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=3_000))
+def test_bdd_count_matches_truth_table(seed):
+    """Property: BDD model count equals the truth-table popcount."""
+    circuit = generate_random_circuit("p", 6, 1, 30, seed=seed)
+    bdd, root = bdd_from_circuit(circuit, order=list(circuit.inputs))
+    table = truth_table(circuit)
+    assert bdd.satisfy_count(root) == bin(table).count("1")

@@ -1,0 +1,109 @@
+"""Tests for synthetic benchmark generation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.analysis import dangling_nodes, support, support_table
+from repro.circuit.gates import GateType
+from repro.circuit.random_circuits import generate_random_circuit
+from repro.errors import CircuitError
+
+
+class TestGeneration:
+    def test_interface_matches_request(self):
+        circuit = generate_random_circuit("g", 12, 5, 90, seed=1)
+        assert len(circuit.circuit_inputs) == 12
+        assert len(circuit.outputs) == 5
+        assert circuit.num_gates >= 90
+
+    def test_gate_count_close_to_request(self):
+        circuit = generate_random_circuit("g", 10, 3, 200, seed=2)
+        # Sink folding and output buffers add a bounded overhead.
+        assert 200 <= circuit.num_gates <= 260
+
+    def test_deterministic_for_seed(self):
+        a = generate_random_circuit("g", 8, 2, 50, seed=42)
+        b = generate_random_circuit("g", 8, 2, 50, seed=42)
+        assert a.nodes == b.nodes
+        assert all(a.fanins(n) == b.fanins(n) for n in a.nodes)
+
+    def test_different_seeds_differ(self):
+        a = generate_random_circuit("g", 8, 2, 50, seed=1)
+        b = generate_random_circuit("g", 8, 2, 50, seed=2)
+        assert any(
+            a.fanins(n) != b.fanins(n)
+            for n in a.nodes
+            if b.has_node(n) and a.gate_type(n).is_gate
+        )
+
+    def test_every_input_used(self):
+        circuit = generate_random_circuit("g", 15, 4, 100, seed=3)
+        covered = set()
+        for output in circuit.outputs:
+            covered |= support(circuit, output)
+        assert covered == set(circuit.circuit_inputs)
+
+    def test_no_dangling_gates(self):
+        circuit = generate_random_circuit("g", 10, 3, 80, seed=4)
+        dead = {
+            n
+            for n in dangling_nodes(circuit)
+            if circuit.gate_type(n) is not GateType.INPUT
+        }
+        assert not dead
+
+    def test_first_output_has_widest_support(self):
+        circuit = generate_random_circuit("g", 12, 4, 90, seed=5)
+        table = support_table(circuit)
+        first = len(table[circuit.outputs[0]])
+        assert all(first >= len(table[o]) for o in circuit.outputs[1:])
+
+    def test_validates(self):
+        generate_random_circuit("g", 6, 2, 30, seed=6).validate()
+
+    def test_single_output(self):
+        circuit = generate_random_circuit("g", 6, 1, 30, seed=7)
+        assert len(circuit.outputs) == 1
+
+    def test_odd_input_count(self):
+        circuit = generate_random_circuit("g", 7, 2, 40, seed=8)
+        covered = set()
+        for output in circuit.outputs:
+            covered |= support(circuit, output)
+        assert covered == set(circuit.circuit_inputs)
+
+
+class TestValidation:
+    def test_zero_inputs_rejected(self):
+        with pytest.raises(CircuitError):
+            generate_random_circuit("g", 0, 1, 10)
+
+    def test_zero_outputs_rejected(self):
+        with pytest.raises(CircuitError):
+            generate_random_circuit("g", 4, 0, 10)
+
+    def test_too_few_gates_rejected(self):
+        with pytest.raises(CircuitError):
+            generate_random_circuit("g", 10, 1, 5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_inputs=st.integers(min_value=2, max_value=20),
+    num_outputs=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_generation_invariants_property(num_inputs, num_outputs, seed):
+    num_gates = num_inputs * 4
+    circuit = generate_random_circuit(
+        "p", num_inputs, num_outputs, num_gates, seed=seed
+    )
+    circuit.validate()
+    assert len(circuit.outputs) == num_outputs
+    covered = set()
+    for output in circuit.outputs:
+        covered |= support(circuit, output)
+    assert covered == set(circuit.circuit_inputs)

@@ -1,0 +1,152 @@
+"""Tests for the structural Verilog reader/writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.equivalence import check_equivalence
+from repro.circuit.gates import GateType
+from repro.circuit.library import c17, paper_example_circuit
+from repro.circuit.random_circuits import generate_random_circuit
+from repro.circuit.verilog import (
+    parse_verilog,
+    read_verilog,
+    save_verilog,
+    write_verilog,
+)
+from repro.errors import ParseError
+from repro.locking import lock_sfll_hd
+
+_SIMPLE = """
+// a comment
+module demo (a, b, y);
+  input a;
+  input b;
+  output y;
+  wire t;
+  nand g1 (t, a, b);
+  not g2 (y, t);
+endmodule
+"""
+
+
+class TestParse:
+    def test_simple_module(self):
+        circuit = parse_verilog(_SIMPLE)
+        assert circuit.name == "demo"
+        assert circuit.circuit_inputs == ("a", "b")
+        assert circuit.outputs == ("y",)
+        assert circuit.gate_type("t") is GateType.NAND
+
+    def test_multi_net_declarations(self):
+        text = """
+        module m (a, b, y);
+          input a, b;
+          output y;
+          and g (y, a, b);
+        endmodule
+        """
+        circuit = parse_verilog(text)
+        assert set(circuit.circuit_inputs) == {"a", "b"}
+
+    def test_assign_alias_and_constants(self):
+        text = """
+        module m (a, y, z);
+          input a;
+          output y; output z;
+          wire one;
+          assign one = 1'b1;
+          and g (z, a, one);
+          assign y = a;
+        endmodule
+        """
+        circuit = parse_verilog(text)
+        assert circuit.gate_type("one") is GateType.CONST1
+        assert circuit.gate_type("y") is GateType.BUF
+
+    def test_block_comments_stripped(self):
+        text = "module m (a, y); /* ports */ input a; output y; buf g (y, a); endmodule"
+        assert parse_verilog(text).num_gates == 1
+
+    def test_keys_comment(self):
+        text = """
+        // keys: k0
+        module m (a, k0, y);
+          input a, k0;
+          output y;
+          xor g (y, a, k0);
+        endmodule
+        """
+        circuit = parse_verilog(text)
+        assert circuit.key_inputs == ("k0",)
+
+    def test_keyinput_prefix_convention(self):
+        text = """
+        module m (a, keyinput0, y);
+          input a, keyinput0;
+          output y;
+          xnor g (y, a, keyinput0);
+        endmodule
+        """
+        assert parse_verilog(text).key_inputs == ("keyinput0",)
+
+    def test_missing_module_rejected(self):
+        with pytest.raises(ParseError):
+            parse_verilog("wire x;")
+
+    def test_missing_endmodule_rejected(self):
+        with pytest.raises(ParseError):
+            parse_verilog("module m (a); input a;")
+
+    def test_unsupported_cell_rejected(self):
+        text = "module m (a, y); input a; output y; DFFX1 g (y, a); endmodule"
+        with pytest.raises(ParseError):
+            parse_verilog(text)
+
+    def test_garbage_statement_rejected(self):
+        text = "module m (a, y); input a; output y; always @(*) y = a; endmodule"
+        with pytest.raises(ParseError):
+            parse_verilog(text)
+
+
+class TestWriteRoundtrip:
+    @pytest.mark.parametrize("builder", [paper_example_circuit, c17])
+    def test_known_circuits(self, builder):
+        original = builder()
+        text = write_verilog(original)
+        back = parse_verilog(text)
+        assert check_equivalence(original, back).proved
+
+    def test_locked_circuit_keys_roundtrip(self):
+        locked = lock_sfll_hd(paper_example_circuit(), h=1, cube=(1, 0, 0, 1))
+        text = write_verilog(locked.circuit)
+        back = parse_verilog(text)
+        assert len(back.key_inputs) == 4
+        assert check_equivalence(locked.circuit, back).proved
+
+    def test_fresh_names_are_sanitized(self):
+        # Locker-generated names contain '$', legal in our netlists but
+        # needing care in Verilog; writer must produce parseable output.
+        locked = lock_sfll_hd(
+            paper_example_circuit(), h=0, cube=(1, 0, 0, 1),
+            optimize_netlist=False,
+        )
+        back = parse_verilog(write_verilog(locked.circuit))
+        back.validate()
+
+    def test_random_circuit_roundtrip(self):
+        original = generate_random_circuit("rv", 9, 3, 60, seed=13)
+        back = parse_verilog(write_verilog(original))
+        assert check_equivalence(original, back).proved
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "c17.v"
+        save_verilog(c17(), path)
+        back = read_verilog(path)
+        assert back.name == "c17"
+        assert check_equivalence(c17(), back).proved
+
+    def test_module_name_sanitized(self):
+        original = paper_example_circuit().copy(name="weird name~x")
+        text = write_verilog(original)
+        assert "module weird_name_x" in text

@@ -1,0 +1,45 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.sat.cnf import Cnf
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)
+
+
+def random_cnf(rng: random.Random, num_vars: int, num_clauses: int) -> Cnf:
+    """A random k-CNF (k in 1..3) used by solver fuzz tests."""
+    cnf = Cnf(num_vars)
+    for _ in range(num_clauses):
+        width = rng.randint(1, 3)
+        clause = []
+        for _ in range(width):
+            var = rng.randint(1, num_vars)
+            clause.append(var if rng.random() < 0.5 else -var)
+        cnf.add_clause(clause)
+    return cnf
+
+
+@st.composite
+def cnf_strategy(draw, max_vars: int = 8, max_clauses: int = 24):
+    """Hypothesis strategy producing small random CNFs."""
+    num_vars = draw(st.integers(min_value=1, max_value=max_vars))
+    num_clauses = draw(st.integers(min_value=0, max_value=max_clauses))
+    cnf = Cnf(num_vars)
+    for _ in range(num_clauses):
+        width = draw(st.integers(min_value=1, max_value=3))
+        clause = []
+        for _ in range(width):
+            var = draw(st.integers(min_value=1, max_value=num_vars))
+            sign = draw(st.booleans())
+            clause.append(var if sign else -var)
+        cnf.add_clause(clause)
+    return cnf

@@ -1,0 +1,73 @@
+"""End-to-end coverage of the experiment entry points (tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig5, fig6, summary, table1
+
+
+@pytest.fixture(autouse=True)
+def tiny_env(monkeypatch):
+    monkeypatch.delenv("REPRO_FULL", raising=False)
+    monkeypatch.setenv("REPRO_MAX_KEYS", "6")
+    monkeypatch.setenv("REPRO_MAX_GATES", "80")
+    monkeypatch.setenv("REPRO_CIRCUITS", "1")
+    monkeypatch.setenv("REPRO_TIME_LIMIT", "10")
+
+
+class TestTable1Main:
+    def test_renders_and_writes_csv(self, tmp_path):
+        csv_path = tmp_path / "t1.csv"
+        text = table1.main(csv_path=str(csv_path))
+        assert "Table I" in text
+        assert "ex1010" in text
+        lines = csv_path.read_text().splitlines()
+        assert lines[0].startswith("ckt,")
+        assert len(lines) == 2  # header + one circuit
+
+
+class TestFig5Main:
+    def test_single_panel(self, tmp_path):
+        csv_path = tmp_path / "f5.csv"
+        text = fig5.main(panel="m/8", csv_path=str(csv_path))
+        assert "Figure 5 panel: SFLL-HD m/8" in text
+        assert "Distance2H" in text
+        assert csv_path.exists()
+
+    def test_panel_definitions_match_paper(self):
+        assert set(fig5.PANELS) == {"hd0", "m/8", "m/4", "m/3"}
+        assert "Distance2H" not in fig5.PANELS["m/3"]
+        assert fig5.PANELS["hd0"] == ("AnalyzeUnateness", "SAT-Attack")
+
+
+class TestFig6Main:
+    def test_renders(self):
+        text = fig6.main()
+        assert "Figure 6" in text
+        assert "keyconf-mean[s]" in text
+
+
+class TestSummaryMain:
+    def test_renders_headline(self, tmp_path):
+        csv_path = tmp_path / "s.csv"
+        text = summary.main(csv_path=str(csv_path))
+        assert "Headline statistics" in text
+        assert "65/80 (81%)" in text  # the paper column
+        assert csv_path.exists()
+
+    def test_stats_object(self):
+        stats = summary.run_summary(time_limit=10)
+        assert stats.total == 4  # 1 circuit x 4 settings
+        assert 0.0 <= stats.defeat_rate <= 1.0
+        if stats.defeated:
+            assert 0.0 <= stats.unique_rate <= 1.0
+
+
+class TestCliExperiments:
+    def test_dispatch(self, capsys, monkeypatch):
+        from repro.cli import main_experiments
+
+        assert main_experiments(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out

@@ -1,0 +1,174 @@
+"""Tests for the experiment harness (profiles, suite, runners, reports)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.profiles import (
+    TABLE1_PROFILES,
+    CircuitProfile,
+    active_profiles,
+    h_for,
+    is_full_scale,
+    time_limit_seconds,
+)
+from repro.experiments.report import (
+    cactus_series,
+    render_cactus,
+    render_table,
+    write_csv,
+)
+from repro.experiments.runner import run_fall, run_key_confirmation, run_sat_attack
+from repro.experiments.suite import build_benchmark, build_suite
+from repro.attacks.results import AttackStatus
+
+
+@pytest.fixture
+def small_env(monkeypatch):
+    monkeypatch.delenv("REPRO_FULL", raising=False)
+    monkeypatch.setenv("REPRO_MAX_KEYS", "8")
+    monkeypatch.setenv("REPRO_MAX_GATES", "120")
+    monkeypatch.setenv("REPRO_CIRCUITS", "2")
+    monkeypatch.setenv("REPRO_TIME_LIMIT", "15")
+
+
+class TestProfiles:
+    def test_table1_has_twenty_circuits(self):
+        assert len(TABLE1_PROFILES) == 20
+        names = [p.name for p in TABLE1_PROFILES]
+        assert "c432" in names and "des" in names
+
+    def test_paper_key_cap(self):
+        # Table I: key width = min(#inputs, 64) in the paper's setup.
+        for profile in TABLE1_PROFILES:
+            assert profile.key_width == min(profile.num_inputs, 64)
+
+    def test_h_for(self):
+        assert h_for("hd0", 64) == 0
+        assert h_for("m/8", 64) == 8
+        assert h_for("m/4", 64) == 16
+        assert h_for("m/3", 64) == 21
+
+    def test_active_profiles_scaled(self, small_env):
+        profiles = active_profiles()
+        assert len(profiles) == 2
+        assert all(p.key_width <= 8 for p in profiles)
+        assert all(p.num_gates <= 120 for p in profiles)
+
+    def test_full_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert is_full_scale()
+        assert len(active_profiles()) == 20
+        assert time_limit_seconds() == 1000.0
+
+    def test_time_limit_env(self, small_env):
+        assert time_limit_seconds() == 15.0
+
+    def test_profile_seed_deterministic(self):
+        profile = CircuitProfile("x", 4, 2, 4, 30)
+        assert profile.seed() == CircuitProfile("x", 9, 9, 9, 9).seed()
+
+
+class TestSuite:
+    def test_build_benchmark_is_locked_and_optimized(self, small_env):
+        profile = active_profiles()[0]
+        benchmark = build_benchmark(profile, "m/8")
+        assert benchmark.h == profile.key_width // 8
+        assert benchmark.locked.circuit.key_inputs
+        assert benchmark.original.num_gates > 0
+        assert benchmark.name == f"{profile.name}[m/8]"
+
+    def test_correct_key_unlocks_suite_members(self, small_env):
+        from repro.circuit.equivalence import check_equivalence
+
+        profile = active_profiles()[0]
+        benchmark = build_benchmark(profile, "hd0")
+        unlocked = benchmark.locked.unlocked_with(
+            benchmark.locked.reveal_correct_key()
+        )
+        assert check_equivalence(benchmark.original, unlocked).proved
+
+    def test_build_suite_grid(self, small_env):
+        suite = build_suite(active_profiles(), h_labels=("hd0", "m/8"))
+        assert len(suite) == 4  # 2 circuits x 2 settings
+
+    def test_originals_are_cached(self, small_env):
+        profile = active_profiles()[0]
+        a = build_benchmark(profile, "hd0")
+        b = build_benchmark(profile, "m/8")
+        assert a.original is b.original
+
+
+class TestRunners:
+    def test_run_fall_solves_small_benchmark(self, small_env):
+        profile = active_profiles()[0]
+        benchmark = build_benchmark(profile, "m/8")
+        record = run_fall(benchmark, time_limit=30)
+        assert record.attack.startswith("fall")
+        assert record.solved
+        assert record.correct_key
+
+    def test_run_fall_analyses_restriction(self, small_env):
+        profile = active_profiles()[0]
+        benchmark = build_benchmark(profile, "m/8")
+        record = run_fall(
+            benchmark, time_limit=30, analyses=("distance2h",),
+            attack_label="Distance2H",
+        )
+        assert record.attack == "Distance2H"
+
+    def test_run_sat_attack_on_small_hd0(self, small_env):
+        profile = active_profiles()[0]
+        benchmark = build_benchmark(profile, "hd0")
+        record = run_sat_attack(benchmark, time_limit=30)
+        # With 8 keys the SAT attack can win; either way the record is
+        # well-formed.
+        assert record.status in (
+            AttackStatus.SUCCESS,
+            AttackStatus.TIMEOUT,
+        )
+        assert record.elapsed_seconds >= 0.0
+
+    def test_run_key_confirmation(self, small_env):
+        profile = active_profiles()[0]
+        benchmark = build_benchmark(profile, "hd0")
+        correct = benchmark.locked.reveal_correct_key()
+        wrong = tuple(1 - b for b in correct)
+        record = run_key_confirmation(
+            benchmark, [wrong, correct], time_limit=30
+        )
+        assert record.solved
+        assert record.correct_key
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        text = render_table(("a", "bbb"), [(1, 2), (33, 4)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_cactus_series_sorted(self):
+        assert cactus_series([3.0, 1.0, 2.0]) == [
+            (1.0, 1),
+            (2.0, 2),
+            (3.0, 3),
+        ]
+
+    def test_render_cactus_counts_solved(self):
+        text = render_cactus(
+            {"A": [1.0, 2.0], "B": [9.0]},
+            time_limit=5.0,
+            total=3,
+            title="panel",
+        )
+        assert "A: 2/3 solved" in text
+        assert "B: 0/3 solved" in text
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(path, ("x", "y"), [(1, 2), (3, 4)])
+        assert path.read_text() == "x,y\n1,2\n3,4\n"

@@ -1,0 +1,166 @@
+"""Tests for cardinality encodings (all three methods, cross-checked)."""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.sat.cardinality import (
+    CARDINALITY_METHODS,
+    encode_at_least,
+    encode_at_most,
+    encode_exactly,
+)
+from repro.sat.cnf import Cnf
+from repro.sat.solver import Solver, SolveStatus
+
+
+def _count_projected_models(cnf: Cnf, input_vars: list[int]) -> int:
+    """Count assignments to input_vars extendable to full models."""
+    count = 0
+    for pattern in range(1 << len(input_vars)):
+        assumptions = [
+            v if (pattern >> i) & 1 else -v for i, v in enumerate(input_vars)
+        ]
+        solver = Solver()
+        solver.add_cnf(cnf)
+        if solver.solve(assumptions=assumptions) is SolveStatus.SAT:
+            count += 1
+    return count
+
+
+@pytest.mark.parametrize("method", CARDINALITY_METHODS)
+class TestExactly:
+    @pytest.mark.parametrize("n,k", [(1, 0), (1, 1), (3, 0), (3, 2), (4, 2), (5, 3), (6, 1)])
+    def test_model_count_is_binomial(self, method, n, k):
+        cnf = Cnf()
+        xs = cnf.new_vars(n)
+        encode_exactly(cnf, xs, k, method=method)
+        assert _count_projected_models(cnf, xs) == comb(n, k)
+
+    def test_exact_zero_forces_all_false(self, method):
+        cnf = Cnf()
+        xs = cnf.new_vars(4)
+        encode_exactly(cnf, xs, 0, method=method)
+        solver = Solver()
+        solver.add_cnf(cnf)
+        assert solver.solve() is SolveStatus.SAT
+        assert not any(solver.model_value(x) for x in xs)
+
+    def test_exact_n_forces_all_true(self, method):
+        cnf = Cnf()
+        xs = cnf.new_vars(4)
+        encode_exactly(cnf, xs, 4, method=method)
+        solver = Solver()
+        solver.add_cnf(cnf)
+        assert solver.solve() is SolveStatus.SAT
+        assert all(solver.model_value(x) for x in xs)
+
+    def test_negated_literals_supported(self, method):
+        cnf = Cnf()
+        xs = cnf.new_vars(3)
+        encode_exactly(cnf, [-x for x in xs], 2, method=method)
+        # exactly two of the vars FALSE <=> exactly one TRUE
+        assert _count_projected_models(cnf, xs) == comb(3, 1)
+
+    def test_out_of_range_bound_rejected(self, method):
+        cnf = Cnf()
+        xs = cnf.new_vars(3)
+        with pytest.raises(EncodingError):
+            encode_exactly(cnf, xs, 4, method=method)
+        with pytest.raises(EncodingError):
+            encode_exactly(cnf, xs, -1, method=method)
+
+
+@pytest.mark.parametrize("method", CARDINALITY_METHODS)
+class TestAtMost:
+    @pytest.mark.parametrize("n,k", [(3, 1), (4, 2), (5, 0), (5, 4)])
+    def test_model_count(self, method, n, k):
+        cnf = Cnf()
+        xs = cnf.new_vars(n)
+        encode_at_most(cnf, xs, k, method=method)
+        expected = sum(comb(n, i) for i in range(k + 1))
+        assert _count_projected_models(cnf, xs) == expected
+
+    def test_trivial_bound_adds_nothing(self, method):
+        cnf = Cnf()
+        xs = cnf.new_vars(3)
+        encode_at_most(cnf, xs, 3, method=method)
+        assert _count_projected_models(cnf, xs) == 8
+
+    def test_violating_assignment_unsat(self, method):
+        cnf = Cnf()
+        xs = cnf.new_vars(4)
+        encode_at_most(cnf, xs, 2, method=method)
+        solver = Solver()
+        solver.add_cnf(cnf)
+        assert solver.solve(assumptions=xs[:3]) is SolveStatus.UNSAT
+
+    def test_negative_bound_rejected(self, method):
+        cnf = Cnf()
+        xs = cnf.new_vars(2)
+        with pytest.raises(EncodingError):
+            encode_at_most(cnf, xs, -1, method=method)
+
+
+@pytest.mark.parametrize("method", CARDINALITY_METHODS)
+class TestAtLeast:
+    @pytest.mark.parametrize("n,k", [(3, 1), (4, 3), (5, 5)])
+    def test_model_count(self, method, n, k):
+        cnf = Cnf()
+        xs = cnf.new_vars(n)
+        encode_at_least(cnf, xs, k, method=method)
+        expected = sum(comb(n, i) for i in range(k, n + 1))
+        assert _count_projected_models(cnf, xs) == expected
+
+    def test_zero_bound_adds_nothing(self, method):
+        cnf = Cnf()
+        xs = cnf.new_vars(3)
+        encode_at_least(cnf, xs, 0, method=method)
+        assert cnf.num_clauses == 0
+
+    def test_impossible_bound_rejected(self, method):
+        cnf = Cnf()
+        xs = cnf.new_vars(2)
+        with pytest.raises(EncodingError):
+            encode_at_least(cnf, xs, 3, method=method)
+
+
+class TestUnknownMethod:
+    def test_rejected(self):
+        cnf = Cnf()
+        xs = cnf.new_vars(2)
+        with pytest.raises(EncodingError):
+            encode_exactly(cnf, xs, 1, method="magic")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=6),
+    data=st.data(),
+)
+def test_methods_agree(n, data):
+    """All three encodings accept exactly the same input-variable models."""
+    k = data.draw(st.integers(min_value=0, max_value=n))
+    counts = set()
+    for method in CARDINALITY_METHODS:
+        cnf = Cnf()
+        xs = cnf.new_vars(n)
+        encode_exactly(cnf, xs, k, method=method)
+        counts.add(_count_projected_models(cnf, xs))
+    assert len(counts) == 1
+    assert counts.pop() == comb(n, k)
+
+
+def test_large_sequential_counter_is_compact():
+    """seq encoding should stay near O(n*k) clauses, unlike pairwise."""
+    cnf = Cnf()
+    xs = cnf.new_vars(40)
+    encode_at_most(cnf, xs, 5, method="seq")
+    pairwise_size = len(list(combinations(range(40), 6)))
+    assert cnf.num_clauses < pairwise_size / 100

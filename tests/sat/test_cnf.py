@@ -1,0 +1,126 @@
+"""Tests for the CNF container and DIMACS I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError, SolverError
+from repro.sat.cnf import Cnf
+
+
+class TestConstruction:
+    def test_new_var_is_sequential(self):
+        cnf = Cnf()
+        assert cnf.new_var() == 1
+        assert cnf.new_var() == 2
+        assert cnf.num_vars == 2
+
+    def test_new_vars_bulk(self):
+        cnf = Cnf()
+        assert cnf.new_vars(3) == [1, 2, 3]
+
+    def test_new_vars_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Cnf().new_vars(-1)
+
+    def test_negative_initial_vars_rejected(self):
+        with pytest.raises(ValueError):
+            Cnf(-2)
+
+    def test_add_clause_grows_num_vars(self):
+        cnf = Cnf()
+        cnf.add_clause([3, -5])
+        assert cnf.num_vars == 5
+        assert cnf.clauses == [(3, -5)]
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(SolverError):
+            Cnf().add_clause([1, 0])
+
+    def test_bool_literal_rejected(self):
+        with pytest.raises(SolverError):
+            Cnf().add_clause([True])
+
+    def test_add_clauses_bulk(self):
+        cnf = Cnf()
+        cnf.add_clauses([[1], [2, -1]])
+        assert cnf.num_clauses == 2
+
+    def test_copy_is_independent(self):
+        cnf = Cnf()
+        cnf.add_clause([1, 2])
+        dup = cnf.copy()
+        dup.add_clause([-1])
+        assert cnf.num_clauses == 1
+        assert dup.num_clauses == 2
+
+
+class TestEvaluate:
+    def test_satisfied(self):
+        cnf = Cnf()
+        cnf.add_clause([1, -2])
+        assert cnf.evaluate({1: True, 2: True})
+
+    def test_falsified(self):
+        cnf = Cnf()
+        cnf.add_clause([1, -2])
+        assert not cnf.evaluate({1: False, 2: True})
+
+    def test_partial_assignment_rejected(self):
+        cnf = Cnf()
+        cnf.add_clause([1, 2])
+        with pytest.raises(SolverError):
+            cnf.evaluate({1: False})
+
+    def test_empty_formula_is_true(self):
+        assert Cnf().evaluate({})
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        cnf = Cnf()
+        cnf.add_clause([1, -2, 3])
+        cnf.add_clause([-3])
+        text = cnf.to_dimacs()
+        back = Cnf.from_dimacs(text)
+        assert back.num_vars == cnf.num_vars
+        assert back.clauses == cnf.clauses
+
+    def test_header_line(self):
+        cnf = Cnf()
+        cnf.add_clause([1, 2])
+        assert cnf.to_dimacs().splitlines()[0] == "p cnf 2 1"
+
+    def test_parse_with_comments(self):
+        text = "c a comment\np cnf 3 1\n1 -3 0\n"
+        cnf = Cnf.from_dimacs(text)
+        assert cnf.num_vars == 3
+        assert cnf.clauses == [(1, -3)]
+
+    def test_parse_clause_spanning_lines(self):
+        text = "p cnf 2 1\n1\n-2 0\n"
+        cnf = Cnf.from_dimacs(text)
+        assert cnf.clauses == [(1, -2)]
+
+    def test_parse_declared_vars_beyond_used(self):
+        cnf = Cnf.from_dimacs("p cnf 10 1\n1 0\n")
+        assert cnf.num_vars == 10
+
+    def test_unterminated_clause_rejected(self):
+        with pytest.raises(ParseError):
+            Cnf.from_dimacs("p cnf 2 1\n1 -2\n")
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ParseError):
+            Cnf.from_dimacs("p dnf 2 1\n1 0\n")
+
+    def test_bad_token_rejected(self):
+        with pytest.raises(ParseError):
+            Cnf.from_dimacs("p cnf 2 1\n1 x 0\n")
+
+    def test_file_roundtrip(self, tmp_path):
+        cnf = Cnf()
+        cnf.add_clause([1, 2])
+        path = tmp_path / "f.cnf"
+        cnf.write_dimacs(path)
+        assert Cnf.read_dimacs(path).clauses == cnf.clauses

@@ -1,0 +1,300 @@
+"""Tests for the CDCL solver, including differential tests against DPLL."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import SolverError
+from repro.sat.cnf import Cnf
+from repro.sat.dpll import dpll_solve
+from repro.sat.solver import Solver, SolveStatus, _luby, solve_cnf
+from repro.utils.timer import Budget
+
+from tests.conftest import cnf_strategy, random_cnf
+
+
+def check_model(cnf: Cnf, solver: Solver) -> None:
+    assert cnf.evaluate(solver.model_dict())
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        assert Solver().solve() is SolveStatus.SAT
+
+    def test_single_unit(self):
+        s = Solver()
+        s.add_clause([1])
+        assert s.solve() is SolveStatus.SAT
+        assert s.model_value(1) is True
+
+    def test_negative_unit(self):
+        s = Solver()
+        s.add_clause([-1])
+        assert s.solve() is SolveStatus.SAT
+        assert s.model_value(1) is False
+
+    def test_contradictory_units(self):
+        s = Solver()
+        s.add_clause([1])
+        s.add_clause([-1])
+        assert s.solve() is SolveStatus.UNSAT
+
+    def test_empty_clause_is_unsat(self):
+        s = Solver()
+        s.add_clause([])
+        assert s.solve() is SolveStatus.UNSAT
+
+    def test_simple_implication_chain(self):
+        s = Solver()
+        s.add_clause([1])
+        s.add_clause([-1, 2])
+        s.add_clause([-2, 3])
+        assert s.solve() is SolveStatus.SAT
+        assert s.model_value(3) is True
+
+    def test_pigeonhole_2_into_1(self):
+        # Two pigeons, one hole: var i = "pigeon i in hole".
+        s = Solver()
+        s.add_clause([1])
+        s.add_clause([2])
+        s.add_clause([-1, -2])
+        assert s.solve() is SolveStatus.UNSAT
+
+    def test_tautologous_clause_ignored(self):
+        s = Solver()
+        s.add_clause([1, -1])
+        s.add_clause([2])
+        assert s.solve() is SolveStatus.SAT
+
+    def test_duplicate_literals_collapsed(self):
+        s = Solver()
+        s.add_clause([1, 1, 1])
+        assert s.solve() is SolveStatus.SAT
+        assert s.model_value(1) is True
+
+    def test_model_requires_sat(self):
+        s = Solver()
+        s.add_clause([1])
+        s.add_clause([-1])
+        assert s.solve() is SolveStatus.UNSAT
+        with pytest.raises(SolverError):
+            s.model_value(1)
+
+    def test_model_lits_signs(self):
+        s = Solver()
+        s.add_clause([1])
+        s.add_clause([-2])
+        assert s.solve() is SolveStatus.SAT
+        lits = s.model_lits()
+        assert 1 in lits and -2 in lits
+
+    def test_unknown_variable_in_model_query(self):
+        s = Solver()
+        s.add_clause([1])
+        assert s.solve() is SolveStatus.SAT
+        with pytest.raises(SolverError):
+            s.model_value(99)
+
+    def test_status_truthiness_is_banned(self):
+        with pytest.raises(SolverError):
+            bool(SolveStatus.SAT)
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        assert s.solve(assumptions=[-1]) is SolveStatus.SAT
+        assert s.model_value(1) is False
+        assert s.model_value(2) is True
+
+    def test_conflicting_assumption(self):
+        s = Solver()
+        s.add_clause([1])
+        assert s.solve(assumptions=[-1]) is SolveStatus.UNSAT
+        # Solver is reusable after an assumption-UNSAT.
+        assert s.solve() is SolveStatus.SAT
+
+    def test_jointly_inconsistent_assumptions(self):
+        s = Solver()
+        s.add_clause([-1, -2])
+        assert s.solve(assumptions=[1, 2]) is SolveStatus.UNSAT
+        assert s.solve(assumptions=[1]) is SolveStatus.SAT
+
+    def test_assumptions_do_not_persist(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        assert s.solve(assumptions=[-1, -2]) is SolveStatus.UNSAT
+        assert s.solve() is SolveStatus.SAT
+
+    def test_incremental_clause_addition(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        assert s.solve() is SolveStatus.SAT
+        s.add_clause([-1])
+        assert s.solve() is SolveStatus.SAT
+        assert s.model_value(2) is True
+        s.add_clause([-2])
+        assert s.solve() is SolveStatus.UNSAT
+
+    def test_many_incremental_rounds(self):
+        # Mimics the SAT-attack usage pattern: grow the formula, re-solve.
+        s = Solver()
+        vars_ = s.new_vars(20)
+        s.add_clause(vars_)
+        for v in vars_[:-1]:
+            assert s.solve() is SolveStatus.SAT
+            s.add_clause([-v])
+        assert s.solve() is SolveStatus.SAT
+        assert s.model_value(vars_[-1]) is True
+
+    def test_assumption_on_fresh_variable(self):
+        s = Solver()
+        assert s.solve(assumptions=[5]) is SolveStatus.SAT
+        assert s.model_value(5) is True
+
+
+class TestBudgets:
+    def test_expired_budget_returns_unknown_on_hard_instance(self):
+        cnf = _pigeonhole_cnf(holes=7)
+        s = Solver()
+        s.add_cnf(cnf)
+        status = s.solve(budget=Budget(0.0))
+        # With a zero budget the solver must give up quickly (UNKNOWN)
+        # unless it solved the instance before the first budget check.
+        assert status in (SolveStatus.UNKNOWN, SolveStatus.UNSAT)
+
+    def test_conflict_limit_returns_unknown(self):
+        cnf = _pigeonhole_cnf(holes=7)
+        s = Solver()
+        s.add_cnf(cnf)
+        status = s.solve(conflict_limit=10)
+        assert status is SolveStatus.UNKNOWN
+
+    def test_solver_usable_after_unknown(self):
+        cnf = _pigeonhole_cnf(holes=6)
+        s = Solver()
+        s.add_cnf(cnf)
+        assert s.solve(conflict_limit=5) is SolveStatus.UNKNOWN
+        assert s.solve() is SolveStatus.UNSAT
+
+
+class TestHarderInstances:
+    def test_pigeonhole_unsat(self):
+        # PHP(n+1, n) is the classic hard-for-resolution family; n=5 is
+        # still easy but exercises learning, restarts and VSIDS.
+        assert _solve_ph(5) is SolveStatus.UNSAT
+
+    def test_php_sat_variant(self):
+        # n pigeons into n holes is satisfiable.
+        cnf = _pigeonhole_cnf(holes=5, pigeons=5)
+        status, model = solve_cnf(cnf)
+        assert status is SolveStatus.SAT
+        assert cnf.evaluate(model)
+
+    def test_random_3sat_batch(self):
+        rng = random.Random(7)
+        for trial in range(30):
+            n = rng.randint(5, 30)
+            cnf = random_cnf(rng, n, int(3.5 * n))
+            s = Solver()
+            s.add_cnf(cnf)
+            status = s.solve()
+            expected = dpll_solve(cnf)
+            if expected is None:
+                assert status is SolveStatus.UNSAT, f"trial {trial}"
+            else:
+                assert status is SolveStatus.SAT, f"trial {trial}"
+                check_model(cnf, s)
+
+    def test_random_with_assumptions_batch(self):
+        rng = random.Random(99)
+        for trial in range(20):
+            n = rng.randint(4, 16)
+            cnf = random_cnf(rng, n, 3 * n)
+            assumptions = []
+            for v in range(1, rng.randint(2, n + 1)):
+                assumptions.append(v if rng.random() < 0.5 else -v)
+            s = Solver()
+            s.add_cnf(cnf)
+            status = s.solve(assumptions=assumptions)
+            augmented = cnf.copy()
+            for lit in assumptions:
+                augmented.add_clause([lit])
+            expected = dpll_solve(augmented)
+            if expected is None:
+                assert status is SolveStatus.UNSAT, f"trial {trial}"
+            else:
+                assert status is SolveStatus.SAT, f"trial {trial}"
+                model = s.model_dict()
+                assert augmented.evaluate(model), f"trial {trial}"
+
+
+class TestStats:
+    def test_stats_accumulate(self):
+        s = Solver()
+        s.add_cnf(_pigeonhole_cnf(holes=4))
+        assert s.solve() is SolveStatus.UNSAT
+        assert s.stats.conflicts > 0
+        assert s.stats.decisions > 0
+        assert s.stats.propagations > 0
+        assert s.stats.solve_calls == 1
+
+    def test_stats_repr(self):
+        s = Solver()
+        assert "conflicts=0" in repr(s.stats)
+
+
+class TestLuby:
+    def test_prefix(self):
+        expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+        assert [_luby(i) for i in range(15)] == expected
+
+
+@settings(max_examples=150, deadline=None)
+@given(cnf=cnf_strategy())
+def test_cdcl_matches_dpll(cnf):
+    """Differential fuzz: CDCL and reference DPLL agree on SAT/UNSAT."""
+    s = Solver()
+    s.add_cnf(cnf)
+    status = s.solve()
+    reference = dpll_solve(cnf)
+    if reference is None:
+        assert status is SolveStatus.UNSAT
+    else:
+        assert status is SolveStatus.SAT
+        assert cnf.evaluate(s.model_dict())
+
+
+@settings(max_examples=60, deadline=None)
+@given(cnf=cnf_strategy(max_vars=6, max_clauses=16))
+def test_cdcl_model_covers_all_vars(cnf):
+    s = Solver()
+    s.add_cnf(cnf)
+    if s.solve() is SolveStatus.SAT:
+        model = s.model_dict()
+        assert set(model) == set(range(1, s.num_vars + 1))
+
+
+def _pigeonhole_cnf(holes: int, pigeons: int | None = None) -> Cnf:
+    """PHP(pigeons, holes); default pigeons = holes + 1 (UNSAT)."""
+    if pigeons is None:
+        pigeons = holes + 1
+    cnf = Cnf()
+    grid = [[cnf.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for row in grid:
+        cnf.add_clause(row)
+    for hole in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                cnf.add_clause([-grid[p1][hole], -grid[p2][hole]])
+    return cnf
+
+
+def _solve_ph(holes: int) -> SolveStatus:
+    s = Solver()
+    s.add_cnf(_pigeonhole_cnf(holes))
+    return s.solve()

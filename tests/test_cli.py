@@ -1,0 +1,104 @@
+"""Tests for the command-line entry points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.bench_io import read_bench, save_bench
+from repro.circuit.equivalence import check_equivalence
+from repro.circuit.library import paper_example_circuit
+from repro.cli import main_attack, main_lock
+
+
+@pytest.fixture
+def bench_file(tmp_path):
+    path = tmp_path / "design.bench"
+    save_bench(paper_example_circuit(), path)
+    return path
+
+
+class TestLockCommand:
+    def test_lock_sfll_roundtrip(self, bench_file, tmp_path, capsys):
+        out = tmp_path / "locked.bench"
+        key_file = tmp_path / "key.txt"
+        code = main_lock(
+            [
+                str(bench_file),
+                str(out),
+                "--scheme",
+                "sfll",
+                "--h",
+                "1",
+                "--key-file",
+                str(key_file),
+            ]
+        )
+        assert code == 0
+        locked = read_bench(out)
+        assert locked.key_inputs
+        key_text = key_file.read_text().strip()
+        assert set(key_text) <= {"0", "1"}
+        captured = capsys.readouterr().out
+        assert "correct_key=" in captured
+
+    @pytest.mark.parametrize("scheme", ["ttlock", "rll", "sarlock", "antisat"])
+    def test_all_schemes_produce_valid_netlists(
+        self, bench_file, tmp_path, scheme
+    ):
+        out = tmp_path / f"{scheme}.bench"
+        args = [str(bench_file), str(out), "--scheme", scheme]
+        if scheme == "rll":
+            args += ["--keys", "3"]
+        assert main_lock(args) == 0
+        locked = read_bench(out)
+        locked.validate()
+        assert locked.key_inputs
+
+    def test_correct_key_unlocks(self, bench_file, tmp_path, capsys):
+        out = tmp_path / "locked.bench"
+        key_file = tmp_path / "key.txt"
+        main_lock(
+            [str(bench_file), str(out), "--scheme", "ttlock",
+             "--key-file", str(key_file)]
+        )
+        locked = read_bench(out)
+        key = [int(ch) for ch in key_file.read_text().strip()]
+        from repro.locking.base import apply_key
+
+        unlocked = apply_key(locked, dict(zip(locked.key_inputs, key)))
+        assert check_equivalence(paper_example_circuit(), unlocked).proved
+
+
+class TestAttackCommand:
+    def test_fall_attack_end_to_end(self, bench_file, tmp_path, capsys):
+        locked_path = tmp_path / "locked.bench"
+        key_file = tmp_path / "key.txt"
+        main_lock(
+            [str(bench_file), str(locked_path), "--scheme", "sfll",
+             "--h", "1", "--key-file", str(key_file)]
+        )
+        capsys.readouterr()
+        code = main_attack(
+            [str(locked_path), "--h", "1", "--oracle", str(bench_file)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "key:" in out
+        recovered = out.split("key:")[1].strip().split()[0]
+        assert recovered == key_file.read_text().strip()
+
+    def test_sat_attack_requires_oracle(self, bench_file, tmp_path):
+        locked_path = tmp_path / "locked.bench"
+        main_lock([str(bench_file), str(locked_path), "--scheme", "ttlock"])
+        with pytest.raises(SystemExit):
+            main_attack([str(locked_path), "--attack", "sat"])
+
+    def test_sat_attack_end_to_end(self, bench_file, tmp_path, capsys):
+        locked_path = tmp_path / "locked.bench"
+        main_lock([str(bench_file), str(locked_path), "--scheme", "ttlock"])
+        capsys.readouterr()
+        code = main_attack(
+            [str(locked_path), "--attack", "sat", "--oracle", str(bench_file)]
+        )
+        assert code == 0
+        assert "key:" in capsys.readouterr().out
