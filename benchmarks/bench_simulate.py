@@ -1,0 +1,204 @@
+"""Microbenchmarks for the compile-once simulation engine.
+
+Times the three hot-path workload shapes of the FALL attack stack
+against the interpreted reference (``simulate_interpreted``, the
+pre-compilation implementation kept for differential testing):
+
+- **wide_simulation** — one 4096-pattern bit-parallel pass over a
+  mid-size netlist, repeated (the SPS / density-ranking shape);
+- **oracle_queries** — many single-pattern output queries on the same
+  circuit (the SAT-attack / key-confirmation oracle shape), plus the
+  batched variant that packs all patterns into one wide pass;
+- **prefilter_sweep** — repeated cofactor sweeps over candidate cones
+  (the FALL unateness-prefilter shape).
+
+Run ``python benchmarks/bench_simulate.py`` from the repo root (with
+``PYTHONPATH=src``); results are printed and written to
+``benchmarks/BENCH_simulate.json`` so the perf trajectory is tracked
+PR over PR.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.attacks.fall.prefilter import passes_unateness_sim
+from repro.attacks.oracle import IOOracle
+from repro.circuit.analysis import extract_cone
+from repro.circuit.compiled import compile_circuit
+from repro.circuit.random_circuits import generate_random_circuit
+from repro.circuit.simulate import simulate_interpreted
+from repro.utils.rng import make_rng
+
+_REPEATS = 5
+
+
+def _best_of(fn, repeats: int = _REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_wide_simulation() -> dict:
+    circuit = generate_random_circuit("bench_wide", 24, 8, 600, seed=11)
+    patterns = 4096
+    rng = make_rng(0)
+    values = {name: rng.getrandbits(patterns) for name in circuit.inputs}
+    rounds = 10
+
+    def interpreted():
+        for _ in range(rounds):
+            simulate_interpreted(circuit, values, width=patterns)
+
+    engine = compile_circuit(circuit)  # compile outside the timed region
+
+    def compiled():
+        for _ in range(rounds):
+            engine.simulate(values, width=patterns)
+
+    return {
+        "workload": f"{rounds} x {patterns}-pattern full-netlist passes",
+        "gates": circuit.num_gates,
+        "interpreted_s": _best_of(interpreted),
+        "compiled_s": _best_of(compiled),
+    }
+
+
+def bench_oracle_queries() -> dict:
+    circuit = generate_random_circuit("bench_oracle", 20, 6, 400, seed=23)
+    rng = make_rng(1)
+    queries = [
+        {name: rng.getrandbits(1) for name in circuit.inputs}
+        for _ in range(1000)
+    ]
+
+    def interpreted():
+        for pattern in queries:
+            values = simulate_interpreted(circuit, pattern, width=1)
+            tuple(values[o] for o in circuit.outputs)
+
+    oracle = IOOracle(circuit)
+    oracle.query(queries[0])  # warm the compiled outputs program
+
+    def compiled():
+        for pattern in queries:
+            oracle.query(pattern)
+
+    def batched():
+        oracle.query_batch(queries)
+
+    return {
+        "workload": f"{len(queries)} single-pattern oracle queries",
+        "gates": circuit.num_gates,
+        "interpreted_s": _best_of(interpreted),
+        "compiled_s": _best_of(compiled),
+        "batched_s": _best_of(batched),
+    }
+
+
+def bench_prefilter_sweep() -> dict:
+    circuit = generate_random_circuit("bench_prefilter", 16, 4, 300, seed=31)
+    cones = [extract_cone(circuit, out) for out in circuit.outputs]
+    patterns = 256
+
+    def interpreted():
+        # The pre-engine prefilter: two interpreted cofactor passes per
+        # support variable per cone.
+        for cone in cones:
+            inputs = list(cone.inputs)
+            output_node = cone.outputs[0]
+            rng = make_rng(0)
+            base = {name: rng.getrandbits(patterns) for name in inputs}
+            mask = (1 << patterns) - 1
+            for pivot in inputs:
+                low = dict(base)
+                low[pivot] = 0
+                high = dict(base)
+                high[pivot] = mask
+                value_low = simulate_interpreted(
+                    cone, low, width=patterns, targets=[output_node]
+                )[output_node]
+                value_high = simulate_interpreted(
+                    cone, high, width=patterns, targets=[output_node]
+                )[output_node]
+                if (value_low & ~value_high & mask) and (
+                    ~value_low & value_high & mask
+                ):
+                    break
+
+    for cone in cones:
+        compile_circuit(cone)  # warm the per-cone programs
+
+    def compiled():
+        for cone in cones:
+            passes_unateness_sim(cone, patterns=patterns, seed=0)
+
+    return {
+        "workload": f"unateness sweep over {len(cones)} cones",
+        "gates": circuit.num_gates,
+        "interpreted_s": _best_of(interpreted),
+        "compiled_s": _best_of(compiled),
+    }
+
+
+def bench_compile_cost() -> dict:
+    circuit = generate_random_circuit("bench_compile", 24, 8, 600, seed=11)
+
+    # Time an uncached compilation honestly via the class constructor.
+    from repro.circuit.compiled import CompiledCircuit
+
+    start = time.perf_counter()
+    engine = CompiledCircuit(circuit)
+    engine.simulate({name: 1 for name in circuit.inputs}, width=1)
+    elapsed = time.perf_counter() - start
+    return {
+        "workload": "one-time compilation + first simulation",
+        "gates": circuit.num_gates,
+        "compile_and_first_run_s": elapsed,
+    }
+
+
+def main() -> int:
+    suites = {
+        "wide_simulation": bench_wide_simulation(),
+        "oracle_queries": bench_oracle_queries(),
+        "prefilter_sweep": bench_prefilter_sweep(),
+        "compile_cost": bench_compile_cost(),
+    }
+    for name, entry in suites.items():
+        if "interpreted_s" in entry and "compiled_s" in entry:
+            entry["speedup"] = round(
+                entry["interpreted_s"] / entry["compiled_s"], 2
+            )
+        if "interpreted_s" in entry and "batched_s" in entry:
+            entry["batched_speedup"] = round(
+                entry["interpreted_s"] / entry["batched_s"], 2
+            )
+    report = {
+        "bench": "simulate",
+        "python": sys.version.split()[0],
+        "suites": suites,
+    }
+    out_path = Path(__file__).resolve().parent / "BENCH_simulate.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {out_path}")
+    slow = [
+        name
+        for name, entry in suites.items()
+        if "speedup" in entry and entry["speedup"] < 3.0
+    ]
+    if slow:
+        print(f"WARNING: speedup below 3x for: {', '.join(slow)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,7 @@ from __future__ import annotations
 from repro.attacks.oracle import IOOracle
 from repro.attacks.results import AttackResult, AttackStatus
 from repro.circuit.circuit import Circuit
-from repro.circuit.simulate import simulate_pattern
+from repro.circuit.compiled import compile_circuit
 from repro.circuit.tseitin import encode_circuit, encode_under_assignment
 from repro.errors import AttackError
 from repro.sat.cnf import Cnf
@@ -140,17 +140,28 @@ def appsat_attack(
 
         if iteration % settle_rounds:
             continue
-        # Validation round: random sampling against the oracle.
+        # Validation round: random sampling against the oracle. The
+        # whole round is two packed simulations — one batched oracle
+        # call and one keyed-netlist sweep with sample j in bit j.
         key = current_key()
         if key is None:
             return result(AttackStatus.FAILED, iterations=iteration)
         key_assignment = dict(zip(key_names, key))
+        samples = [
+            {name: rng.getrandbits(1) for name in input_names}
+            for _ in range(queries_per_round)
+        ]
+        observed_rows = oracle.query_batch(samples)
+        predicted_rows = compile_circuit(locked).query_batch(
+            [{**sample, **key_assignment} for sample in samples]
+        )
         errors = 0
-        for _ in range(queries_per_round):
-            sample = {name: rng.getrandbits(1) for name in input_names}
-            observed = oracle.query(sample)
-            predicted = simulate_pattern(locked, {**sample, **key_assignment})
-            if any(predicted[o] != observed[o] for o in output_names):
+        for sample, observed, predicted in zip(
+            samples, observed_rows, predicted_rows
+        ):
+            if any(
+                bit != observed[o] for bit, o in zip(predicted, output_names)
+            ):
                 errors += 1
                 add_io_constraint(sample, observed)
         if errors / queries_per_round <= error_threshold:

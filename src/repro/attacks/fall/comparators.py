@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from repro.circuit.analysis import support_table
 from repro.circuit.circuit import Circuit
-from repro.circuit.simulate import simulate
+from repro.circuit.compiled import compile_circuit
 from repro.circuit.tseitin import encode_circuit
 from repro.sat.cnf import Cnf
 from repro.sat.solver import Solver, SolveStatus
@@ -50,7 +50,7 @@ def find_comparators(
     """All comparator tuples Comp = {〈v_i, x_i, k_i〉, ...} in the netlist."""
     if supports is None:
         supports = support_table(locked)
-    comparators: list[Comparator] = []
+    candidates: list[tuple[str, str, str]] = []
     for node in locked.nodes:
         if not locked.gate_type(node).is_gate:
             continue
@@ -62,11 +62,17 @@ def find_comparators(
             continue
         key_input = keys[0]
         circuit_input = next(n for n in supp if n != key_input)
-        verdict = (
-            _classify_sat(locked, node, circuit_input, key_input)
-            if use_sat
-            else _classify_sim(locked, node, circuit_input, key_input)
-        )
+        candidates.append((node, circuit_input, key_input))
+
+    verdicts = (
+        [_classify_sat(locked, n, x, k) for n, x, k in candidates]
+        if use_sat
+        else _classify_sim_batch(locked, [n for n, _, _ in candidates])
+    )
+    comparators: list[Comparator] = []
+    for (node, circuit_input, key_input), verdict in zip(
+        candidates, verdicts
+    ):
         if verdict is None:
             continue
         comparators.append(
@@ -90,17 +96,33 @@ def pairing_from_comparators(
     return pairing
 
 
-def _classify_sim(
-    locked: Circuit, node: str, x: str, k: str
-) -> bool | None:
-    """Exhaustively simulate the 2-input cone; None if not XOR/XNOR."""
-    values = simulate(locked, {x: 0b0101, k: 0b0011}, width=4, targets=[node])
-    table = values[node]
-    if table == _XOR_TABLE:
-        return False
-    if table == _XNOR_TABLE:
-        return True
-    return None
+def _classify_sim_batch(
+    locked: Circuit, nodes: list[str]
+) -> list[bool | None]:
+    """Exhaustively simulate all 2-support cones in one width-4 pass.
+
+    Every circuit input carries the canonical x pattern and every key
+    input the canonical k pattern; a node whose support is exactly
+    {x_i, k_i} then computes its own 4-row (x, k) truth table, so one
+    compiled pass over the union of the candidate cones classifies all
+    of them. ``None`` marks a node that is not XOR/XNOR of its support.
+    """
+    if not nodes:
+        return []
+    values = {
+        name: 0b0011 if locked.is_key_input(name) else 0b0101
+        for name in locked.inputs
+    }
+    words = compile_circuit(locked).node_values(nodes, values, width=4)
+    verdicts: list[bool | None] = []
+    for table in words:
+        if table == _XOR_TABLE:
+            verdicts.append(False)
+        elif table == _XNOR_TABLE:
+            verdicts.append(True)
+        else:
+            verdicts.append(None)
+    return verdicts
 
 
 def _classify_sat(

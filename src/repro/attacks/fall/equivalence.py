@@ -13,9 +13,9 @@ from collections.abc import Mapping
 
 from repro.circuit.aig import aig_from_circuit
 from repro.circuit.circuit import Circuit
+from repro.circuit.compiled import compile_circuit
 from repro.circuit.equivalence import check_equivalence
 from repro.circuit.gates import GateType
-from repro.circuit.simulate import simulate
 from repro.errors import AttackError
 from repro.locking.comparators import add_cube_detector, add_hamming_distance_equals
 from repro.utils.rng import make_rng
@@ -72,13 +72,17 @@ def confirm_cube(
         )
     reference = build_strip_reference(inputs, cube, h)
 
-    # Tier 1: random simulation refutation.
+    # Tier 1: random simulation refutation. Both sides run on their
+    # compiled outputs-only programs (the cone's program is shared with
+    # the prefilter sweeps that ran on the same cone object).
     rng = make_rng(1)
     values = {name: rng.getrandbits(sim_patterns) for name in inputs}
-    cone_out = simulate(cone, values, width=sim_patterns)[cone.outputs[0]]
-    ref_out = simulate(reference, values, width=sim_patterns)[
-        reference.outputs[0]
-    ]
+    (cone_out,) = compile_circuit(cone).eval_outputs(
+        values, width=sim_patterns
+    )
+    (ref_out,) = compile_circuit(reference).eval_outputs(
+        values, width=sim_patterns
+    )
     if cone_out != ref_out:
         return False
 

@@ -37,8 +37,8 @@ from repro.attacks.oracle import IOOracle
 from repro.attacks.results import AttackResult, AttackStatus
 from repro.circuit.analysis import extract_cone, support_table
 from repro.circuit.circuit import Circuit
+from repro.circuit.compiled import compile_circuit
 from repro.circuit.gates import GateType
-from repro.circuit.simulate import simulate
 from repro.errors import AttackError
 from repro.utils.rng import make_rng
 from repro.utils.timer import Budget, Stopwatch
@@ -124,20 +124,23 @@ def fall_attack(
     if not report.candidate_nodes:
         return result(AttackStatus.FAILED)
 
-    # Stage 2.5: one bit-parallel random simulation of the whole netlist
-    # yields every candidate's signal density. Candidates are ordered by
-    # how closely their density matches strip_h's C(m,h)/2^m (the true
-    # stripper is analyzed first, so a budget-truncated scan still finds
-    # it), and density incompatibility rejects polarities outright.
+    # Stage 2.5: one bit-parallel random simulation over the candidate
+    # cones yields every candidate's signal density. Candidates are
+    # ordered by how closely their density matches strip_h's C(m,h)/2^m
+    # (the true stripper is analyzed first, so a budget-truncated scan
+    # still finds it), and density incompatibility rejects polarities
+    # outright.
     m = len(report.pairing)
     rng = make_rng(1)
     sim_inputs = {
         name: rng.getrandbits(_DENSITY_PATTERNS) for name in locked.inputs
     }
-    sim_values = simulate(locked, sim_inputs, width=_DENSITY_PATTERNS)
+    candidate_words = compile_circuit(locked).node_values(
+        tuple(report.candidate_nodes), sim_inputs, width=_DENSITY_PATTERNS
+    )
     density = {
-        node: sim_values[node].bit_count() / _DENSITY_PATTERNS
-        for node in report.candidate_nodes
+        node: word.bit_count() / _DENSITY_PATTERNS
+        for node, word in zip(report.candidate_nodes, candidate_words)
     }
     expected_density = strip_density(m, h)
     density_threshold = max(

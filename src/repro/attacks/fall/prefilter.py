@@ -24,7 +24,7 @@ from __future__ import annotations
 from math import comb
 
 from repro.circuit.circuit import Circuit
-from repro.circuit.simulate import simulate
+from repro.circuit.compiled import compile_circuit
 from repro.errors import AttackError
 from repro.utils.rng import RngLike, make_rng
 
@@ -54,10 +54,11 @@ def candidate_polarities(
     if len(cone.outputs) != 1:
         raise AttackError("candidate_polarities expects a single-output cone")
     rng = make_rng(seed)
+    engine = compile_circuit(cone)
     inputs = list(cone.inputs)
     values = {name: rng.getrandbits(patterns) for name in inputs}
-    output = simulate(cone, values, width=patterns, targets=[cone.outputs[0]])
-    density = output[cone.outputs[0]].bit_count() / patterns
+    (word,) = engine.eval_outputs(values, width=patterns)
+    density = word.bit_count() / patterns
     threshold = max(
         _MIN_EXPECTED, _DENSITY_MARGIN * strip_density(len(inputs), h)
     )
@@ -74,23 +75,25 @@ def passes_unateness_sim(
     For each support variable, simulate both cofactors on shared random
     patterns; witnessing both a 1→0 and a 0→1 flip proves the function
     binate in that variable, so it cannot be a cube (Lemma 1).
+
+    The cone is compiled once and both cofactors of each pivot share a
+    single double-width pass: the low cofactor occupies bits
+    ``[0, patterns)`` and the high cofactor bits ``[patterns, 2p)``.
     """
     if len(cone.outputs) != 1:
         raise AttackError("passes_unateness_sim expects a single-output cone")
     rng = make_rng(seed)
+    engine = compile_circuit(cone)
     inputs = list(cone.inputs)
-    output_node = cone.outputs[0]
     base = {name: rng.getrandbits(patterns) for name in inputs}
     mask = (1 << patterns) - 1
+    doubled = {name: word | (word << patterns) for name, word in base.items()}
     for pivot in inputs:
-        low = dict(base)
-        low[pivot] = 0
-        high = dict(base)
-        high[pivot] = mask
-        f_low = simulate(cone, low, width=patterns, targets=[output_node])
-        f_high = simulate(cone, high, width=patterns, targets=[output_node])
-        value_low = f_low[output_node]
-        value_high = f_high[output_node]
+        cofactors = dict(doubled)
+        cofactors[pivot] = mask << patterns  # low half 0, high half 1
+        (word,) = engine.eval_outputs(cofactors, width=2 * patterns)
+        value_low = word & mask
+        value_high = (word >> patterns) & mask
         positive_violation = value_low & ~value_high & mask
         negative_violation = ~value_low & value_high & mask
         if positive_violation and negative_violation:

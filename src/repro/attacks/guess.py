@@ -28,8 +28,8 @@ from repro.attacks.fall.prefilter import strip_density
 from repro.attacks.fall.support_match import candidate_strip_nodes
 from repro.circuit.analysis import extract_cone, support_table
 from repro.circuit.circuit import Circuit
+from repro.circuit.compiled import compile_circuit
 from repro.circuit.gates import GateType
-from repro.circuit.simulate import simulate
 from repro.errors import AttackError
 from repro.utils.rng import make_rng
 from repro.utils.timer import Budget
@@ -76,17 +76,27 @@ def guess_keys(
         return report
 
     # Rank candidates by density proximity to strip_h, like the full
-    # pipeline, and analyze the best few without confirmation.
+    # pipeline, and analyze the best few without confirmation. One wide
+    # pass over just the candidate cones yields every density at once.
     patterns = 256
     rng = make_rng(2)
+    engine = compile_circuit(locked)
     sim_inputs = {name: rng.getrandbits(patterns) for name in locked.inputs}
-    sim_values = simulate(locked, sim_inputs, width=patterns)
+    candidate_words = engine.node_values(
+        tuple(candidates), sim_inputs, width=patterns
+    )
+    density = {
+        node: word.bit_count() / patterns
+        for node, word in zip(candidates, candidate_words)
+    }
     expected = strip_density(len(report.pairing), h)
 
     def rank(node: str) -> tuple[float, str]:
-        density = sim_values[node].bit_count() / patterns
         return (
-            min(abs(density - expected), abs((1.0 - density) - expected)),
+            min(
+                abs(density[node] - expected),
+                abs((1.0 - density[node]) - expected),
+            ),
             node,
         )
 

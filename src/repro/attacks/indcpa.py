@@ -82,7 +82,7 @@ def equivalence_adversary(
     vanishing, while a different circuit disagrees on a constant
     fraction).
     """
-    from repro.circuit.simulate import simulate
+    from repro.circuit.compiled import compile_circuit
     from repro.utils.rng import make_rng
 
     if set(circuit0.circuit_inputs) != set(circuit1.circuit_inputs):
@@ -93,19 +93,15 @@ def equivalence_adversary(
         name: rng.getrandbits(patterns)
         for name in locked.inputs  # includes arbitrary key values
     }
-    locked_view = simulate(locked, values, width=patterns)
+    locked_view = compile_circuit(locked).eval_outputs(values, width=patterns)
     mismatches = []
     for candidate in (circuit0, circuit1):
-        candidate_view = simulate(
-            candidate,
-            {n: values[n] for n in candidate.inputs},
-            width=patterns,
+        candidate_view = compile_circuit(candidate).eval_outputs(
+            values, width=patterns
         )
         bits = 0
-        for out_locked, out_candidate in zip(
-            locked.outputs, candidate.outputs
-        ):
-            bits |= locked_view[out_locked] ^ candidate_view[out_candidate]
+        for word_locked, word_candidate in zip(locked_view, candidate_view):
+            bits |= word_locked ^ word_candidate
         mismatches.append(bits.bit_count())
     return 0 if mismatches[0] <= mismatches[1] else 1
 

@@ -29,9 +29,9 @@ from dataclasses import dataclass
 from repro.attacks.results import AttackResult, AttackStatus
 from repro.circuit.analysis import support_table
 from repro.circuit.circuit import Circuit
+from repro.circuit.compiled import compile_circuit
 from repro.circuit.gates import GateType
 from repro.circuit.opt import optimize, sweep
-from repro.circuit.simulate import simulate
 from repro.errors import AttackError, CircuitError
 from repro.utils.rng import RngLike, make_rng
 from repro.utils.timer import Stopwatch
@@ -63,8 +63,9 @@ def estimate_signal_probabilities(
 ) -> dict[str, SkewEstimate]:
     """Monte-Carlo signal probabilities for every node (keys included)."""
     rng = make_rng(seed)
-    values = {name: rng.getrandbits(patterns) for name in circuit.inputs}
-    results = simulate(circuit, values, width=patterns)
+    engine = compile_circuit(circuit)
+    values = {name: rng.getrandbits(patterns) for name in engine.input_names}
+    results = engine.simulate(values, width=patterns)
     return {
         node: SkewEstimate(node, results[node].bit_count() / patterns)
         for node in circuit.nodes

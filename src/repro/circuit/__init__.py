@@ -16,7 +16,14 @@ from repro.circuit.analysis import (
     extract_cone,
     circuit_depth,
 )
-from repro.circuit.simulate import simulate, simulate_pattern, truth_table
+from repro.circuit.compiled import CompiledCircuit, compile_circuit
+from repro.circuit.simulate import (
+    cone_truth_table,
+    simulate,
+    simulate_interpreted,
+    simulate_pattern,
+    truth_table,
+)
 from repro.circuit.bench_io import parse_bench, write_bench
 from repro.circuit.tseitin import CircuitEncoding, encode_circuit
 from repro.circuit.equivalence import (
@@ -43,8 +50,12 @@ __all__ = [
     "support",
     "extract_cone",
     "circuit_depth",
+    "CompiledCircuit",
+    "compile_circuit",
     "simulate",
+    "simulate_interpreted",
     "simulate_pattern",
+    "cone_truth_table",
     "truth_table",
     "parse_bench",
     "write_bench",

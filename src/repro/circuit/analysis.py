@@ -47,7 +47,18 @@ def support(circuit: Circuit, node: str) -> frozenset[str]:
 
 
 def support_table(circuit: Circuit) -> dict[str, frozenset[str]]:
-    """Supports of every node, computed in one topological sweep."""
+    """Supports of every node, computed in one topological sweep.
+
+    The set unions are memoized per structural version (several attack
+    stages ask for the table on the same netlist); the returned dict is
+    a fresh per-call copy of immutable values, safe to mutate.
+    """
+    return dict(
+        circuit._memo("support_table", lambda: _build_support_table(circuit))
+    )
+
+
+def _build_support_table(circuit: Circuit) -> dict[str, frozenset[str]]:
     table: dict[str, frozenset[str]] = {}
     for node in circuit.topological_order():
         gate_type = circuit.gate_type(node)

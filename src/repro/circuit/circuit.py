@@ -21,6 +21,50 @@ from repro.circuit.gates import GateType, check_arity
 from repro.errors import CircuitError
 
 
+def topological_region_order(
+    fanins: dict[str, tuple[str, ...]], wanted: Iterable[str]
+) -> list[str]:
+    """Fanin-before-fanout order over the cones of ``wanted``.
+
+    ``fanins`` must have an entry for every defined node (inputs map to
+    ``()``); membership in it defines the node set. Shared by
+    :meth:`Circuit.topological_order` and the compiled engine's
+    snapshot traversal. Raises on cycles and dangling references.
+    """
+    order: list[str] = []
+    state: dict[str, int] = {}  # 0 = visiting, 1 = done
+    for root in wanted:
+        if state.get(root) == 1:
+            continue
+        stack: list[tuple[str, int]] = [(root, 0)]
+        while stack:
+            node, child_index = stack.pop()
+            if child_index == 0:
+                if state.get(node) == 1:
+                    continue
+                if state.get(node) == 0:
+                    raise CircuitError(f"combinational cycle through {node!r}")
+                if node not in fanins:
+                    raise CircuitError(
+                        f"reference to undefined node {node!r}"
+                    )
+                state[node] = 0
+            node_fanins = fanins[node]
+            if child_index < len(node_fanins):
+                stack.append((node, child_index + 1))
+                child = node_fanins[child_index]
+                if state.get(child) != 1:
+                    if state.get(child) == 0:
+                        raise CircuitError(
+                            f"combinational cycle through {child!r}"
+                        )
+                    stack.append((child, 0))
+            else:
+                state[node] = 1
+                order.append(node)
+    return order
+
+
 @dataclass(frozen=True)
 class CircuitStats:
     """Summary statistics, formatted like Table I of the paper."""
@@ -51,6 +95,35 @@ class Circuit:
         self._outputs: list[str] = []
         self._key_inputs: set[str] = set()
         self._fresh_counter = 0
+        self._version = 0
+        self._derived: dict[object, object] = {}
+
+    # ------------------------------------------------------------------
+    # Structural versioning / derived-data memoization
+    # ------------------------------------------------------------------
+    @property
+    def structural_version(self) -> int:
+        """Monotonic counter bumped by every structural mutation.
+
+        Derived artifacts (topological orders, compiled simulation
+        programs, fanout tables) are tagged with the version they were
+        built against and rebuilt when it changes.
+        """
+        return self._version
+
+    def _invalidate(self) -> None:
+        self._version += 1
+        if self._derived:
+            self._derived.clear()
+
+    def _memo(self, key, build):
+        """Version-safe memoization of derived structure."""
+        try:
+            return self._derived[key]
+        except KeyError:
+            value = build()
+            self._derived[key] = value
+            return value
 
     # ------------------------------------------------------------------
     # Construction
@@ -60,6 +133,7 @@ class Circuit:
         self._add_node(name, GateType.INPUT, ())
         if key:
             self._key_inputs.add(name)
+            self._invalidate()
         return name
 
     def add_key_input(self, name: str) -> str:
@@ -92,12 +166,14 @@ class Circuit:
             raise CircuitError(f"node {name!r} already exists")
         self._type[name] = gate_type
         self._fanins[name] = fanins
+        self._invalidate()
 
     def add_output(self, name: str) -> None:
         """Mark an existing (or forward-referenced) node as an output."""
         if name in self._outputs:
             raise CircuitError(f"{name!r} is already an output")
         self._outputs.append(name)
+        self._invalidate()
 
     def replace_output(self, old: str, new: str) -> None:
         """Swap output ``old`` for node ``new``, keeping its position."""
@@ -106,6 +182,7 @@ class Circuit:
         if new in self._outputs:
             raise CircuitError(f"{new!r} is already an output")
         self._outputs[self._outputs.index(old)] = new
+        self._invalidate()
 
     def fresh_name(self, prefix: str = "n") -> str:
         """A node name not yet present in the circuit."""
@@ -135,29 +212,43 @@ class Circuit:
 
     @property
     def nodes(self) -> tuple[str, ...]:
-        return tuple(self._type)
+        return self._memo("nodes", lambda: tuple(self._type))
 
     @property
     def inputs(self) -> tuple[str, ...]:
         """All primary inputs (circuit + key), in insertion order."""
-        return tuple(n for n, t in self._type.items() if t is GateType.INPUT)
+        return self._memo(
+            "inputs",
+            lambda: tuple(
+                n for n, t in self._type.items() if t is GateType.INPUT
+            ),
+        )
 
     @property
     def key_inputs(self) -> tuple[str, ...]:
-        return tuple(n for n in self.inputs if n in self._key_inputs)
+        return self._memo(
+            "key_inputs",
+            lambda: tuple(n for n in self.inputs if n in self._key_inputs),
+        )
 
     @property
     def circuit_inputs(self) -> tuple[str, ...]:
         """Primary inputs that are not key inputs (the paper's X)."""
-        return tuple(n for n in self.inputs if n not in self._key_inputs)
+        return self._memo(
+            "circuit_inputs",
+            lambda: tuple(n for n in self.inputs if n not in self._key_inputs),
+        )
 
     @property
     def outputs(self) -> tuple[str, ...]:
-        return tuple(self._outputs)
+        return self._memo("outputs", lambda: tuple(self._outputs))
 
     @property
     def gates(self) -> tuple[str, ...]:
-        return tuple(n for n, t in self._type.items() if t.is_gate)
+        return self._memo(
+            "gates",
+            lambda: tuple(n for n, t in self._type.items() if t.is_gate),
+        )
 
     @property
     def num_nodes(self) -> int:
@@ -165,16 +256,27 @@ class Circuit:
 
     @property
     def num_gates(self) -> int:
-        return sum(1 for t in self._type.values() if t.is_gate)
+        return self._memo(
+            "num_gates",
+            lambda: sum(1 for t in self._type.values() if t.is_gate),
+        )
 
     def fanouts(self) -> dict[str, list[str]]:
-        """Map node -> list of nodes it feeds (computed fresh)."""
+        """Map node -> list of nodes it feeds.
+
+        The edge traversal is memoized per structural version; the
+        returned dict-of-lists is a fresh copy the caller may mutate.
+        """
+        table = self._memo("fanouts", self._build_fanouts)
+        return {name: list(fanout) for name, fanout in table.items()}
+
+    def _build_fanouts(self) -> dict[str, tuple[str, ...]]:
         table: dict[str, list[str]] = {name: [] for name in self._type}
         for name, fanins in self._fanins.items():
             for fanin in fanins:
                 if fanin in table:
                     table[fanin].append(name)
-        return table
+        return {name: tuple(fanout) for name, fanout in table.items()}
 
     # ------------------------------------------------------------------
     # Structure
@@ -184,41 +286,19 @@ class Circuit:
 
         With ``targets``, restricts to the union of their transitive fanin
         cones (targets included). Raises on cycles or dangling references.
+
+        The full order (``targets=None``) is memoized per structural
+        version; callers receive a fresh list each time.
         """
         if targets is None:
-            wanted = list(self._type)
-        else:
-            wanted = list(targets)
-        order: list[str] = []
-        state: dict[str, int] = {}  # 0 = visiting, 1 = done
-        for root in wanted:
-            if state.get(root) == 1:
-                continue
-            stack: list[tuple[str, int]] = [(root, 0)]
-            while stack:
-                node, child_index = stack.pop()
-                if child_index == 0:
-                    if state.get(node) == 1:
-                        continue
-                    if state.get(node) == 0:
-                        raise CircuitError(f"combinational cycle through {node!r}")
-                    if node not in self._type:
-                        raise CircuitError(f"reference to undefined node {node!r}")
-                    state[node] = 0
-                fanins = self._fanins[node]
-                if child_index < len(fanins):
-                    stack.append((node, child_index + 1))
-                    child = fanins[child_index]
-                    if state.get(child) != 1:
-                        if state.get(child) == 0:
-                            raise CircuitError(
-                                f"combinational cycle through {child!r}"
-                            )
-                        stack.append((child, 0))
-                else:
-                    state[node] = 1
-                    order.append(node)
-        return order
+            return list(self._memo("topo", self._full_topological_order))
+        return self._topological_order_of(list(targets))
+
+    def _full_topological_order(self) -> tuple[str, ...]:
+        return tuple(self._topological_order_of(list(self._type)))
+
+    def _topological_order_of(self, wanted: list[str]) -> list[str]:
+        return topological_region_order(self._fanins, wanted)
 
     def validate(self) -> None:
         """Check the netlist is a closed DAG with declared outputs."""
