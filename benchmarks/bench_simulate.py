@@ -10,16 +10,25 @@ pre-compilation implementation kept for differential testing):
   circuit (the SAT-attack / key-confirmation oracle shape), plus the
   batched variant that packs all patterns into one wide pass;
 - **prefilter_sweep** — repeated cofactor sweeps over candidate cones
-  (the FALL unateness-prefilter shape).
+  (the FALL unateness-prefilter shape);
+- **sliced_sweep** — a 4096-pattern outputs sweep issued one pattern
+  per call (the PR 1 scalar-compiled shape) against the bit-sliced bulk
+  entry point ``eval_outputs_sliced`` on each available backend;
+- **signal_probability** — a 2^19-pattern per-node popcount sweep (the
+  SPS shape) on each available backend, where the numpy
+  ``bitwise_count`` reduction pays off.
 
 Run ``python benchmarks/bench_simulate.py`` from the repo root (with
 ``PYTHONPATH=src``); results are printed and written to
-``benchmarks/BENCH_simulate.json`` so the perf trajectory is tracked
-PR over PR.
+``benchmarks/BENCH_simulate.json`` (or ``--output PATH``) so the perf
+trajectory is tracked PR over PR. ``benchmarks/bench_compare.py`` diffs
+a fresh report against the committed baseline and fails CI when a
+tracked speedup ratio regresses.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 import time
@@ -28,12 +37,14 @@ from pathlib import Path
 from repro.attacks.fall.prefilter import passes_unateness_sim
 from repro.attacks.oracle import IOOracle
 from repro.circuit.analysis import extract_cone
-from repro.circuit.compiled import compile_circuit
+from repro.circuit.backends import NumpyWordBackend, numpy_available
+from repro.circuit.compiled import compile_circuit, pack_patterns
 from repro.circuit.random_circuits import generate_random_circuit
 from repro.circuit.simulate import simulate_interpreted
 from repro.utils.rng import make_rng
 
 _REPEATS = 5
+_MIN_SLICED_SPEEDUP = 40.0
 
 
 def _best_of(fn, repeats: int = _REPEATS) -> float:
@@ -147,6 +158,92 @@ def bench_prefilter_sweep() -> dict:
     }
 
 
+def bench_sliced_sweep() -> dict:
+    """The acceptance workload: 4096-pattern sweep, per-call vs sliced.
+
+    ``scalar_compiled`` is the PR 1 shape — one ``eval_outputs`` call
+    per pattern on the compiled engine. The sliced timings run the same
+    4096 patterns through one ``eval_outputs_sliced`` pass. The numpy
+    timing forces the vectorized chunk-array path (the shipped adaptive
+    policy would delegate this width to bigints, which are faster —
+    recording the forced path keeps the array pipeline measured and
+    exercised).
+    """
+    circuit = generate_random_circuit("bench_sliced", 24, 8, 600, seed=11)
+    patterns = 4096
+    rng = make_rng(2)
+    rows = [
+        {name: rng.getrandbits(1) for name in circuit.inputs}
+        for _ in range(patterns)
+    ]
+    packed = pack_patterns(circuit.inputs, rows)
+    engine = compile_circuit(circuit, backend="python")
+    engine.eval_outputs(rows[0], width=1)  # warm the outputs program
+
+    def scalar_compiled():
+        for row in rows:
+            engine.eval_outputs(row, width=1)
+
+    sliced_rounds = 20  # sliced passes are ~µs; time a block per repeat
+
+    def sliced_python():
+        for _ in range(sliced_rounds):
+            engine.eval_outputs_sliced(packed, width=patterns)
+
+    entry = {
+        "workload": f"{patterns}-pattern outputs sweep, "
+                    "one call per pattern vs one bit-sliced pass",
+        "gates": circuit.num_gates,
+        "scalar_compiled_s": _best_of(scalar_compiled),
+        "sliced_python_s": _best_of(sliced_python) / sliced_rounds,
+    }
+    if numpy_available():
+        np_engine = compile_circuit(circuit, backend="numpy")
+        forced_width = NumpyWordBackend.min_eval_width
+        NumpyWordBackend.min_eval_width = 1
+        try:
+            np_engine.eval_outputs_sliced(packed, width=patterns)  # warm
+
+            def sliced_numpy():
+                for _ in range(sliced_rounds):
+                    np_engine.eval_outputs_sliced(packed, width=patterns)
+
+            entry["sliced_numpy_s"] = _best_of(sliced_numpy) / sliced_rounds
+        finally:
+            NumpyWordBackend.min_eval_width = forced_width
+    return entry
+
+
+def bench_signal_probability() -> dict:
+    """Per-node popcount sweep (the SPS shape) across backends."""
+    circuit = generate_random_circuit("bench_sps", 24, 8, 600, seed=11)
+    patterns = 1 << 19
+    rng = make_rng(3)
+    values = {
+        name: rng.getrandbits(patterns) for name in circuit.inputs
+    }
+    engine = compile_circuit(circuit, backend="python")
+    engine.node_popcounts(values, patterns)  # warm the full program
+
+    def python_counts():
+        engine.node_popcounts(values, patterns)
+
+    entry = {
+        "workload": f"per-node popcounts over {patterns} patterns",
+        "gates": circuit.num_gates,
+        "python_s": _best_of(python_counts),
+    }
+    if numpy_available():
+        np_engine = compile_circuit(circuit, backend="numpy")
+        np_engine.node_popcounts(values, patterns)  # warm
+
+        def numpy_counts():
+            np_engine.node_popcounts(values, patterns)
+
+        entry["numpy_s"] = _best_of(numpy_counts)
+    return entry
+
+
 def bench_compile_cost() -> dict:
     circuit = generate_random_circuit("bench_compile", 24, 8, 600, seed=11)
 
@@ -164,11 +261,22 @@ def bench_compile_cost() -> dict:
     }
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent / "BENCH_simulate.json",
+        help="where to write the JSON report "
+             "(default: benchmarks/BENCH_simulate.json)",
+    )
+    args = parser.parse_args(argv)
     suites = {
         "wide_simulation": bench_wide_simulation(),
         "oracle_queries": bench_oracle_queries(),
         "prefilter_sweep": bench_prefilter_sweep(),
+        "sliced_sweep": bench_sliced_sweep(),
+        "signal_probability": bench_signal_probability(),
         "compile_cost": bench_compile_cost(),
     }
     for name, entry in suites.items():
@@ -180,22 +288,40 @@ def main() -> int:
             entry["batched_speedup"] = round(
                 entry["interpreted_s"] / entry["batched_s"], 2
             )
+        if "scalar_compiled_s" in entry:
+            for key in ("sliced_python_s", "sliced_numpy_s"):
+                if key in entry:
+                    entry[key.removesuffix("_s") + "_speedup"] = round(
+                        entry["scalar_compiled_s"] / entry[key], 2
+                    )
+        if "python_s" in entry and "numpy_s" in entry:
+            entry["numpy_popcount_speedup"] = round(
+                entry["python_s"] / entry["numpy_s"], 2
+            )
     report = {
         "bench": "simulate",
         "python": sys.version.split()[0],
+        "numpy": numpy_available(),
         "suites": suites,
     }
-    out_path = Path(__file__).resolve().parent / "BENCH_simulate.json"
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
-    print(f"\nwritten to {out_path}")
-    slow = [
-        name
+    print(f"\nwritten to {args.output}")
+    failures = [
+        f"{name}: speedup {entry['speedup']}x below 3x"
         for name, entry in suites.items()
         if "speedup" in entry and entry["speedup"] < 3.0
     ]
-    if slow:
-        print(f"WARNING: speedup below 3x for: {', '.join(slow)}")
+    sliced = suites["sliced_sweep"]
+    if sliced["sliced_python_speedup"] < _MIN_SLICED_SPEEDUP:
+        failures.append(
+            f"sliced_sweep: bit-sliced speedup "
+            f"{sliced['sliced_python_speedup']}x below the "
+            f"{_MIN_SLICED_SPEEDUP:g}x acceptance floor"
+        )
+    if failures:
+        for failure in failures:
+            print(f"WARNING: {failure}")
         return 1
     return 0
 

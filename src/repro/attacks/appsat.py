@@ -141,8 +141,9 @@ def appsat_attack(
         if iteration % settle_rounds:
             continue
         # Validation round: random sampling against the oracle. The
-        # whole round is two packed simulations — one batched oracle
-        # call and one keyed-netlist sweep with sample j in bit j.
+        # whole round is two packed simulations — one sliced oracle
+        # call and one keyed-netlist sweep with sample j in bit j —
+        # and the disagreement set is a bitwise diff of packed words.
         key = current_key()
         if key is None:
             return result(AttackStatus.FAILED, iterations=iteration)
@@ -151,19 +152,25 @@ def appsat_attack(
             {name: rng.getrandbits(1) for name in input_names}
             for _ in range(queries_per_round)
         ]
-        observed_rows = oracle.query_batch(samples)
-        predicted_rows = compile_circuit(locked).query_batch(
+        observed_by_name = dict(
+            zip(oracle.output_names, oracle.query_sliced(samples))
+        )
+        predicted_words = compile_circuit(locked).eval_outputs_sliced(
             [{**sample, **key_assignment} for sample in samples]
         )
-        errors = 0
-        for sample, observed, predicted in zip(
-            samples, observed_rows, predicted_rows
-        ):
-            if any(
-                bit != observed[o] for bit, o in zip(predicted, output_names)
-            ):
-                errors += 1
-                add_io_constraint(sample, observed)
+        wrong = 0
+        for name, predicted in zip(output_names, predicted_words):
+            wrong |= observed_by_name[name] ^ predicted
+        errors = wrong.bit_count()
+        for j, sample in enumerate(samples):
+            if (wrong >> j) & 1:
+                add_io_constraint(
+                    sample,
+                    {
+                        name: (observed_by_name[name] >> j) & 1
+                        for name in output_names
+                    },
+                )
         if errors / queries_per_round <= error_threshold:
             return result(
                 AttackStatus.SUCCESS,

@@ -113,7 +113,7 @@ def _classify_sim_batch(
         name: 0b0011 if locked.is_key_input(name) else 0b0101
         for name in locked.inputs
     }
-    words = compile_circuit(locked).node_values(nodes, values, width=4)
+    words = compile_circuit(locked).node_values_sliced(nodes, values, width=4)
     verdicts: list[bool | None] = []
     for table in words:
         if table == _XOR_TABLE:

@@ -77,10 +77,10 @@ def confirm_cube(
     # the prefilter sweeps that ran on the same cone object).
     rng = make_rng(1)
     values = {name: rng.getrandbits(sim_patterns) for name in inputs}
-    (cone_out,) = compile_circuit(cone).eval_outputs(
+    (cone_out,) = compile_circuit(cone).eval_outputs_sliced(
         values, width=sim_patterns
     )
-    (ref_out,) = compile_circuit(reference).eval_outputs(
+    (ref_out,) = compile_circuit(reference).eval_outputs_sliced(
         values, width=sim_patterns
     )
     if cone_out != ref_out:

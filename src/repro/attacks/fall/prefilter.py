@@ -57,7 +57,7 @@ def candidate_polarities(
     engine = compile_circuit(cone)
     inputs = list(cone.inputs)
     values = {name: rng.getrandbits(patterns) for name in inputs}
-    (word,) = engine.eval_outputs(values, width=patterns)
+    (word,) = engine.eval_outputs_sliced(values, width=patterns)
     density = word.bit_count() / patterns
     threshold = max(
         _MIN_EXPECTED, _DENSITY_MARGIN * strip_density(len(inputs), h)
@@ -91,7 +91,7 @@ def passes_unateness_sim(
     for pivot in inputs:
         cofactors = dict(doubled)
         cofactors[pivot] = mask << patterns  # low half 0, high half 1
-        (word,) = engine.eval_outputs(cofactors, width=2 * patterns)
+        (word,) = engine.eval_outputs_sliced(cofactors, width=2 * patterns)
         value_low = word & mask
         value_high = (word >> patterns) & mask
         positive_violation = value_low & ~value_high & mask

@@ -215,12 +215,15 @@ def key_confirmation(
             q_solver.add_clause(clause)
         q_watermark = len(q_cnf.clauses)
 
-    # Probe mining (module docstring note 1).
+    # Probe mining (module docstring note 1). Mining is independent of
+    # the observations, so all probes are collected first and replayed
+    # against the oracle as one batched wide simulation.
     if has_phi and probe_rounds > 0:
-        for pattern in _mine_probes(
-            locked, candidates, key_names, probe_rounds, budget
-        ):
-            absorb_observation(pattern, oracle.query(pattern))
+        probes = list(
+            _mine_probes(locked, candidates, key_names, probe_rounds, budget)
+        )
+        for pattern, observed in zip(probes, oracle.query_batch(probes)):
+            absorb_observation(pattern, observed)
             probes_used += 1
 
     iteration = 0

@@ -10,8 +10,10 @@ Queries run on the compile-once engine
 (:mod:`repro.circuit.compiled`): the oracle circuit is compiled to a
 flat outputs-only evaluator on first use, so a query is one generated-
 function call instead of a full interpreted netlist walk. Attack loops
-that need many patterns at once should use :meth:`IOOracle.query_batch`,
-which packs all patterns into one wide simulation.
+that need many patterns at once should use :meth:`IOOracle.query_batch`
+(per-pattern dict rows) or :meth:`IOOracle.query_sliced` (packed words,
+one per output), both of which pack all patterns into one wide
+simulation on the selected evaluation backend.
 """
 
 from __future__ import annotations
@@ -73,6 +75,24 @@ class IOOracle:
         self.query_count += len(assignments)
         rows = compile_circuit(self._circuit).query_batch(assignments)
         return [dict(zip(self.output_names, row)) for row in rows]
+
+    def query_sliced(
+        self, assignments: Sequence[Mapping[str, int]]
+    ) -> tuple[int, ...]:
+        """Packed outputs for many patterns: bit ``j`` = pattern ``j``.
+
+        Same metric semantics as :meth:`query_batch` (one counted query
+        per pattern) but the result stays bit-sliced — one packed word
+        per output name — so bulk consumers (AppSAT validation rounds)
+        can diff whole sample sets with a handful of bitwise ops instead
+        of unpacking per-pattern dicts.
+        """
+        for assignment in assignments:
+            self._check_assignment(assignment)
+        self.query_count += len(assignments)
+        if not assignments:
+            return tuple(0 for _ in self.output_names)
+        return compile_circuit(self._circuit).eval_outputs_sliced(assignments)
 
     def query_bits(self, bits: Sequence[int]) -> tuple[int, ...]:
         """Positional variant: bits follow ``input_names`` order."""

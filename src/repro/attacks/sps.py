@@ -65,9 +65,11 @@ def estimate_signal_probabilities(
     rng = make_rng(seed)
     engine = compile_circuit(circuit)
     values = {name: rng.getrandbits(patterns) for name in engine.input_names}
-    results = engine.simulate(values, width=patterns)
+    # The reduction happens inside the backend (node_popcounts), so no
+    # per-node packed bigints are materialized on the numpy path.
+    counts = engine.node_popcounts(values, patterns)
     return {
-        node: SkewEstimate(node, results[node].bit_count() / patterns)
+        node: SkewEstimate(node, counts[node] / patterns)
         for node in circuit.nodes
     }
 

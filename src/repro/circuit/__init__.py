@@ -16,6 +16,11 @@ from repro.circuit.analysis import (
     extract_cone,
     circuit_depth,
 )
+from repro.circuit.backends import (
+    available_backends,
+    numpy_available,
+    resolve_backend,
+)
 from repro.circuit.compiled import CompiledCircuit, compile_circuit
 from repro.circuit.simulate import (
     cone_truth_table,
@@ -52,6 +57,9 @@ __all__ = [
     "circuit_depth",
     "CompiledCircuit",
     "compile_circuit",
+    "available_backends",
+    "numpy_available",
+    "resolve_backend",
     "simulate",
     "simulate_interpreted",
     "simulate_pattern",

@@ -32,6 +32,18 @@ now delegates here — for general node-level results, and the specialized
 entry points (:meth:`CompiledCircuit.eval_outputs`,
 :meth:`CompiledCircuit.query_batch`) for output-only and batched oracle
 workloads where skipping the full node dict matters.
+
+The generated code is pure bitwise straight-line Python, so it executes
+against interchangeable value representations — *backends* (see
+:mod:`repro.circuit.backends`): packed Python bigints (the
+zero-dependency default) or NumPy ``uint64`` chunk arrays. Pass
+``backend=`` to :func:`compile_circuit` or set ``REPRO_SIM_BACKEND`` to
+choose; ``auto`` (the default) picks numpy when importable. Wide
+pattern-parallel sweeps should use the bulk entry points —
+:meth:`CompiledCircuit.eval_outputs_sliced`,
+:meth:`CompiledCircuit.node_values_sliced`,
+:meth:`CompiledCircuit.node_popcounts` — which evaluate thousands of
+patterns per pass instead of one pattern per call.
 """
 
 from __future__ import annotations
@@ -39,6 +51,7 @@ from __future__ import annotations
 import weakref
 from collections.abc import Mapping, Sequence
 
+from repro.circuit.backends import get_backend, resolve_backend
 from repro.circuit.circuit import Circuit, topological_region_order
 from repro.circuit.gates import GateType
 from repro.errors import CircuitError
@@ -114,9 +127,11 @@ class CompiledCircuit:
     instance that tracks the circuit's structural version.
     """
 
-    def __init__(self, circuit: Circuit):
+    def __init__(self, circuit: Circuit, backend: str | None = None):
         self.name = circuit.name
         self.version = circuit.structural_version
+        self.backend = resolve_backend(backend)
+        self._backend = get_backend(self.backend)
         self.input_names = circuit.inputs
         self.output_names = circuit.outputs
         self.key_input_names = circuit.key_inputs
@@ -250,8 +265,9 @@ class CompiledCircuit:
         if width < 1:
             raise CircuitError(f"width must be >= 1, got {width}")
         program = self._program(targets)
-        mask = (1 << width) - 1
-        values = program.fn(self._gather_inputs(program, input_values), mask)
+        values = self._backend.run(
+            program.fn, self._gather_inputs(program, input_values), width
+        )
         return dict(zip(program.result_names, values))
 
     def node_values(
@@ -264,8 +280,9 @@ class CompiledCircuit:
         if width < 1:
             raise CircuitError(f"width must be >= 1, got {width}")
         program = self._program(tuple(nodes), results=tuple(nodes))
-        mask = (1 << width) - 1
-        return program.fn(self._gather_inputs(program, input_values), mask)
+        return self._backend.run(
+            program.fn, self._gather_inputs(program, input_values), width
+        )
 
     def eval_outputs(
         self, input_values: Mapping[str, int], width: int = 1
@@ -274,8 +291,99 @@ class CompiledCircuit:
         if width < 1:
             raise CircuitError(f"width must be >= 1, got {width}")
         program = self._program(self.output_names, results=self.output_names)
-        mask = (1 << width) - 1
-        return program.fn(self._gather_inputs(program, input_values), mask)
+        return self._backend.run(
+            program.fn, self._gather_inputs(program, input_values), width
+        )
+
+    def _sliced_inputs(
+        self,
+        program: _Program,
+        patterns,
+        width: int | None,
+    ) -> tuple[list[int], int]:
+        """Normalize a bulk-pattern argument to (packed words, width).
+
+        Accepts a mapping of already-packed words (``width`` required),
+        a sequence of per-pattern 0/1 mappings, or a sequence of
+        per-pattern bit rows following :attr:`input_names` order.
+        """
+        if isinstance(patterns, Mapping):
+            if width is None:
+                raise CircuitError(
+                    "width is required when patterns are packed words"
+                )
+            if width < 1:
+                raise CircuitError(f"width must be >= 1, got {width}")
+            return self._gather_inputs(program, patterns), width
+        rows = list(patterns)
+        if width is not None and width != len(rows):
+            raise CircuitError(
+                f"width {width} does not match pattern count {len(rows)}"
+            )
+        if not rows:
+            raise CircuitError("sliced evaluation needs at least one pattern")
+        if isinstance(rows[0], Mapping):
+            packed = pack_patterns(program.input_names, rows)
+            return [packed[n] for n in program.input_names], len(rows)
+        position = {name: i for i, name in enumerate(self.input_names)}
+        words: list[int] = []
+        for name in program.input_names:
+            column = position[name]
+            word = 0
+            for j, row in enumerate(rows):
+                if row[column]:
+                    word |= 1 << j
+            words.append(word)
+        return words, len(rows)
+
+    def eval_outputs_sliced(
+        self,
+        patterns,
+        width: int | None = None,
+    ) -> tuple[int, ...]:
+        """Outputs for many patterns in one bit-sliced pass.
+
+        ``patterns`` is a mapping of packed input words (with ``width``),
+        a sequence of 0/1 mappings, or a sequence of bit rows in
+        :attr:`input_names` order. Returns one packed word per output:
+        bit ``j`` of word ``o`` is output ``o`` under pattern ``j``.
+        This is the bulk entry point wide sweeps should use — one call
+        replaces thousands of single-pattern :meth:`eval_outputs` calls.
+        """
+        program = self._program(self.output_names, results=self.output_names)
+        words, width = self._sliced_inputs(program, patterns, width)
+        return self._backend.run(program.fn, words, width)
+
+    def node_values_sliced(
+        self,
+        nodes: Sequence[str],
+        patterns,
+        width: int | None = None,
+    ) -> tuple[int, ...]:
+        """Bit-sliced values of exactly ``nodes`` for many patterns."""
+        program = self._program(tuple(nodes), results=tuple(nodes))
+        words, width = self._sliced_inputs(program, patterns, width)
+        return self._backend.run(program.fn, words, width)
+
+    def node_popcounts(
+        self,
+        input_values: Mapping[str, int],
+        width: int,
+        targets: Sequence[str] | None = None,
+    ) -> dict[str, int]:
+        """Set-bit counts per node of one packed ``width``-wide pass.
+
+        The signal-probability workload (SPS, density ranking): the
+        reduction stays inside the backend, so the numpy path never
+        materializes per-node Python bigints.
+        """
+        if width < 1:
+            raise CircuitError(f"width must be >= 1, got {width}")
+        program = self._program(targets)
+        counts = self._backend.popcounts(
+            program.fn, self._gather_inputs(program, input_values), width
+        )
+        return dict(zip(program.result_names, counts))
 
     def query_batch(
         self, assignments: Sequence[Mapping[str, int]]
@@ -283,16 +391,15 @@ class CompiledCircuit:
         """Outputs for many single 0/1 patterns via one wide simulation.
 
         Packs pattern ``j`` into bit ``j`` of every input word, runs the
-        outputs-only program once, and unpacks per-pattern output
-        tuples. This is how repeated oracle queries should be issued.
+        outputs-only program once through the selected backend, and
+        unpacks per-pattern output tuples. Callers that can consume
+        packed words directly should prefer :meth:`eval_outputs_sliced`,
+        which skips the per-pattern unpacking entirely.
         """
         width = len(assignments)
         if width == 0:
             return []
-        program = self._program(self.output_names, results=self.output_names)
-        packed = pack_patterns(program.input_names, assignments)
-        mask = (1 << width) - 1
-        outputs = program.fn(self._gather_inputs(program, packed), mask)
+        outputs = self.eval_outputs_sliced(assignments)
         return [
             tuple((word >> j) & 1 for word in outputs) for j in range(width)
         ]
@@ -315,24 +422,35 @@ class CompiledCircuit:
     def __repr__(self) -> str:
         return (
             f"CompiledCircuit({self.name!r}, nodes={len(self._types)}, "
-            f"version={self.version})"
+            f"version={self.version}, backend={self.backend!r})"
         )
 
 
-_COMPILE_CACHE: "weakref.WeakKeyDictionary[Circuit, CompiledCircuit]" = (
+_COMPILE_CACHE: "weakref.WeakKeyDictionary[Circuit, dict[str, CompiledCircuit]]" = (
     weakref.WeakKeyDictionary()
 )
 
 
-def compile_circuit(circuit: Circuit) -> CompiledCircuit:
+def compile_circuit(
+    circuit: Circuit, backend: str | None = None
+) -> CompiledCircuit:
     """The cached compiled form of ``circuit`` (rebuilt after mutation).
 
-    The cache is keyed weakly by circuit identity and checked against
-    :attr:`Circuit.structural_version`, so holding the result across
-    mutations is safe as long as it is re-fetched through this function.
+    The cache is keyed weakly by circuit identity plus resolved backend
+    name and checked against :attr:`Circuit.structural_version`, so
+    holding the result across mutations is safe as long as it is
+    re-fetched through this function. ``backend`` is ``"python"``
+    (aliases ``"bitslice"``/``"bigint"``), ``"numpy"``, or ``"auto"``;
+    ``None`` defers to the ``REPRO_SIM_BACKEND`` environment variable
+    and then to ``"auto"``.
     """
-    compiled = _COMPILE_CACHE.get(circuit)
+    name = resolve_backend(backend)
+    per_backend = _COMPILE_CACHE.get(circuit)
+    if per_backend is None:
+        per_backend = {}
+        _COMPILE_CACHE[circuit] = per_backend
+    compiled = per_backend.get(name)
     if compiled is None or compiled.version != circuit.structural_version:
-        compiled = CompiledCircuit(circuit)
-        _COMPILE_CACHE[circuit] = compiled
+        compiled = CompiledCircuit(circuit, backend=name)
+        per_backend[name] = compiled
     return compiled

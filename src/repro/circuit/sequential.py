@@ -22,8 +22,9 @@ from dataclasses import dataclass
 
 from repro.circuit.bench_io import write_bench
 from repro.circuit.circuit import Circuit
+from repro.circuit.compiled import compile_circuit
 from repro.circuit.gates import GateType
-from repro.circuit.simulate import simulate_pattern
+from repro.circuit.simulate import require_binary_inputs
 from repro.errors import CircuitError, ParseError
 
 
@@ -200,9 +201,22 @@ def simulate_sequence(
     input_sequence: Sequence[Mapping[str, int]],
     initial_state: Mapping[str, int] | None = None,
 ) -> list[dict[str, int]]:
-    """Cycle-accurate simulation; returns per-cycle primary outputs."""
+    """Cycle-accurate simulation; returns per-cycle primary outputs.
+
+    Each cycle is one call into the compiled engine's targeted program
+    (primary outputs + next-state nets only) instead of a full-netlist
+    node dict — the engine and its program are compiled once and reused
+    across the whole sequence.
+    """
     state = {flop.output: 0 for flop in seq.flops}
     state.update(initial_state or {})
+    engine = compile_circuit(seq.core)
+    # Primary outputs and flop data nets may overlap; evaluate each once.
+    probe_nodes = tuple(
+        dict.fromkeys(
+            (*seq.primary_outputs, *(flop.data for flop in seq.flops))
+        )
+    )
     trace: list[dict[str, int]] = []
     for cycle, inputs in enumerate(input_sequence):
         assignment = dict(state)
@@ -212,7 +226,10 @@ def simulate_sequence(
                     f"cycle {cycle}: missing value for input {name!r}"
                 )
             assignment[name] = inputs[name]
-        values = simulate_pattern(seq.core, assignment)
+        require_binary_inputs(assignment)
+        values = dict(
+            zip(probe_nodes, engine.node_values(probe_nodes, assignment))
+        )
         trace.append({out: values[out] for out in seq.primary_outputs})
         state = {flop.output: values[flop.data] for flop in seq.flops}
     return trace

@@ -38,14 +38,18 @@ def simulate(
     input_values: Mapping[str, int],
     width: int = 1,
     targets: Sequence[str] | None = None,
+    backend: str | None = None,
 ) -> dict[str, int]:
     """Simulate ``width`` patterns at once.
 
     ``input_values`` maps every relevant input to a packed int (bit ``j``
     = value in pattern ``j``). Returns packed values for every node in
     the evaluated region (all nodes, or the fanin cones of ``targets``).
+    ``backend`` selects the evaluation backend (see
+    :mod:`repro.circuit.backends`); ``None`` defers to
+    ``REPRO_SIM_BACKEND`` and then auto-detection.
     """
-    return compile_circuit(circuit).simulate(
+    return compile_circuit(circuit, backend=backend).simulate(
         input_values, width=width, targets=targets
     )
 

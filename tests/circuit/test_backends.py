@@ -1,0 +1,379 @@
+"""Tests for the multi-backend evaluation engine.
+
+The load-bearing guarantee: every backend — pure-Python bit-sliced
+bigints and numpy ``uint64`` chunk arrays, including the forced
+vectorized paths and the no-numpy fallback — produces bit-for-bit the
+same packed words as the scalar-compiled per-pattern path and the
+interpreted reference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import backends
+from repro.circuit.backends import (
+    NumpyWordBackend,
+    available_backends,
+    get_backend,
+    numpy_available,
+    resolve_backend,
+)
+from repro.circuit.compiled import compile_circuit, pack_patterns
+from repro.circuit.library import c17
+from repro.circuit.random_circuits import generate_random_circuit
+from repro.circuit.simulate import simulate_interpreted
+from repro.errors import CircuitError
+from repro.utils.rng import make_rng
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy not installed"
+)
+
+
+@pytest.fixture
+def no_numpy(monkeypatch):
+    """Make the backend layer behave as if numpy were not importable."""
+    monkeypatch.setattr(backends, "_np", None)
+    monkeypatch.setattr(backends, "_np_checked", True)
+
+
+@pytest.fixture
+def forced_vectorized(monkeypatch):
+    """Drop the numpy width thresholds so every call runs on arrays."""
+    monkeypatch.setattr(NumpyWordBackend, "min_eval_width", 1)
+    monkeypatch.setattr(NumpyWordBackend, "min_popcount_width", 1)
+
+
+class TestBackendResolution:
+    def test_aliases_resolve_to_python(self):
+        for alias in ("python", "bitslice", "bigint"):
+            assert resolve_backend(alias) == "python"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(CircuitError, match="unknown simulation backend"):
+            resolve_backend("cuda")
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(backends.ENV_BACKEND, "bitslice")
+        assert resolve_backend() == "python"
+        circuit = c17()
+        assert compile_circuit(circuit).backend == "python"
+
+    def test_argument_overrides_env_var(self, monkeypatch):
+        monkeypatch.setenv(backends.ENV_BACKEND, "python")
+        if numpy_available():
+            assert resolve_backend("numpy") == "numpy"
+        assert resolve_backend("bigint") == "python"
+
+    def test_invalid_env_var_rejected(self, monkeypatch):
+        monkeypatch.setenv(backends.ENV_BACKEND, "fortran")
+        with pytest.raises(CircuitError, match="unknown simulation backend"):
+            resolve_backend()
+
+    def test_auto_without_numpy_falls_back(self, no_numpy):
+        assert not numpy_available()
+        assert available_backends() == ("python",)
+        assert resolve_backend() == "python"
+        assert resolve_backend("auto") == "python"
+
+    def test_explicit_numpy_without_numpy_raises(self, no_numpy):
+        with pytest.raises(CircuitError, match="numpy is not importable"):
+            resolve_backend("numpy")
+
+    def test_explicit_numpy_env_without_numpy_raises(
+        self, no_numpy, monkeypatch
+    ):
+        monkeypatch.setenv(backends.ENV_BACKEND, "numpy")
+        with pytest.raises(CircuitError, match="numpy is not importable"):
+            resolve_backend()
+
+    def test_get_backend_python_is_shared(self):
+        assert get_backend("python") is get_backend("bitslice")
+
+
+class TestCompileCachePerBackend:
+    def test_same_backend_is_cached(self):
+        circuit = c17()
+        assert compile_circuit(circuit, backend="python") is compile_circuit(
+            circuit, backend="bitslice"
+        )
+
+    @requires_numpy
+    def test_backends_get_distinct_engines(self):
+        circuit = c17()
+        python_engine = compile_circuit(circuit, backend="python")
+        numpy_engine = compile_circuit(circuit, backend="numpy")
+        assert python_engine is not numpy_engine
+        assert python_engine.backend == "python"
+        assert numpy_engine.backend == "numpy"
+
+    @requires_numpy
+    def test_mutation_invalidates_every_backend(self):
+        from repro.circuit.circuit import Circuit
+        from repro.circuit.gates import GateType
+
+        circuit = Circuit("mut")
+        circuit.add_input("a")
+        circuit.add_gate("y", GateType.BUF, ["a"])
+        circuit.add_output("y")
+        old_python = compile_circuit(circuit, backend="python")
+        old_numpy = compile_circuit(circuit, backend="numpy")
+        circuit.add_gate("z", GateType.NOT, ["y"])
+        circuit.replace_output("y", "z")
+        assert compile_circuit(circuit, backend="python") is not old_python
+        assert compile_circuit(circuit, backend="numpy") is not old_numpy
+        assert compile_circuit(circuit, backend="python").eval_outputs(
+            {"a": 1}
+        ) == (0,)
+
+
+def _packed_reference(circuit, values, width):
+    reference = simulate_interpreted(circuit, values, width=width)
+    return tuple(reference[name] for name in circuit.outputs)
+
+
+def _scalar_compiled_outputs(engine, circuit, values, width):
+    """Per-pattern eval_outputs calls, reassembled into packed words."""
+    packed = [0] * len(circuit.outputs)
+    for j in range(width):
+        row = {name: (word >> j) & 1 for name, word in values.items()}
+        for position, bit in enumerate(engine.eval_outputs(row, width=1)):
+            packed[position] |= bit << j
+    return tuple(packed)
+
+
+class TestDifferentialAcrossBackends:
+    def test_100_random_circuits_all_backends_bit_for_bit(
+        self, monkeypatch
+    ):
+        """bit-sliced == scalar-compiled == interpreted on 100+ circuits.
+
+        Covers the python backend, the numpy backend with vectorization
+        forced down to width 1 (multi-chunk arrays at width 96), and the
+        no-numpy fallback resolution of ``auto``.
+        """
+        monkeypatch.setattr(NumpyWordBackend, "min_eval_width", 1)
+        rng = make_rng(13)
+        width = 96  # two uint64 chunks: exercises the partial-chunk mask
+        checked = 0
+        for seed in range(102):
+            num_inputs = 2 + seed % 9
+            circuit = generate_random_circuit(
+                f"bk{seed}",
+                num_inputs,
+                1 + seed % 4,
+                num_inputs + 8 + seed % 37,
+                seed=1000 + seed,
+            )
+            values = {
+                name: rng.getrandbits(width) for name in circuit.inputs
+            }
+            reference = _packed_reference(circuit, values, width)
+            python_engine = compile_circuit(circuit, backend="python")
+            assert (
+                python_engine.eval_outputs_sliced(values, width=width)
+                == reference
+            ), f"python backend mismatch on seed {seed}"
+            assert (
+                _scalar_compiled_outputs(
+                    python_engine, circuit, values, width
+                )
+                == reference
+            ), f"scalar-compiled mismatch on seed {seed}"
+            if numpy_available():
+                numpy_engine = compile_circuit(circuit, backend="numpy")
+                assert (
+                    numpy_engine.eval_outputs_sliced(values, width=width)
+                    == reference
+                ), f"numpy backend mismatch on seed {seed}"
+            checked += 1
+        assert checked >= 100
+
+    def test_fallback_engine_matches_interpreter(self, no_numpy):
+        rng = make_rng(5)
+        width = 200
+        for seed in range(10):
+            circuit = generate_random_circuit(
+                f"fb{seed}", 6, 3, 40, seed=2000 + seed
+            )
+            values = {
+                name: rng.getrandbits(width) for name in circuit.inputs
+            }
+            engine = compile_circuit(circuit)  # auto -> python fallback
+            assert engine.backend == "python"
+            assert engine.eval_outputs_sliced(
+                values, width=width
+            ) == _packed_reference(circuit, values, width)
+
+    @requires_numpy
+    def test_numpy_wide_multi_chunk_sweep(self, forced_vectorized):
+        """A 1000-pattern sweep spans 16 chunks incl. a partial one."""
+        circuit = generate_random_circuit("wide", 10, 4, 150, seed=77)
+        rng = make_rng(9)
+        width = 1000
+        values = {name: rng.getrandbits(width) for name in circuit.inputs}
+        engine = compile_circuit(circuit, backend="numpy")
+        assert engine.eval_outputs_sliced(
+            values, width=width
+        ) == _packed_reference(circuit, values, width)
+        assert engine.simulate(values, width=width) == simulate_interpreted(
+            circuit, values, width=width
+        )
+
+    @requires_numpy
+    def test_oversized_input_words_are_masked(self, forced_vectorized):
+        """Words wider than the evaluated width truncate, as on python."""
+        circuit = generate_random_circuit("ovs", 5, 2, 30, seed=91)
+        width = 65
+        values = {
+            name: ((1 << 130) | (7 << i)) for i, name in
+            enumerate(circuit.inputs)
+        }
+        python_result = compile_circuit(
+            circuit, backend="python"
+        ).eval_outputs_sliced(values, width=width)
+        numpy_result = compile_circuit(
+            circuit, backend="numpy"
+        ).eval_outputs_sliced(values, width=width)
+        assert numpy_result == python_result
+
+    @requires_numpy
+    def test_constant_outputs_on_numpy_backend(self, forced_vectorized):
+        """CONST0/CONST1 results stay correct through array conversion."""
+        from repro.circuit.circuit import Circuit
+        from repro.circuit.gates import GateType
+
+        circuit = Circuit("const")
+        circuit.add_input("a")
+        circuit.add_const("zero", 0)
+        circuit.add_const("one", 1)
+        circuit.add_gate("buf", GateType.BUF, ["a"])
+        for out in ("zero", "one", "buf"):
+            circuit.add_output(out)
+        engine = compile_circuit(circuit, backend="numpy")
+        width = 70
+        word = (1 << width) - 1
+        assert engine.eval_outputs_sliced({"a": word}, width=width) == (
+            0,
+            word,
+            word,
+        )
+
+
+class TestSlicedInputForms:
+    def test_packed_rows_and_dicts_agree(self):
+        circuit = generate_random_circuit("forms", 8, 3, 60, seed=21)
+        rng = make_rng(2)
+        patterns = 77
+        dict_rows = [
+            {name: rng.getrandbits(1) for name in circuit.inputs}
+            for _ in range(patterns)
+        ]
+        bit_rows = [
+            [row[name] for name in circuit.inputs] for row in dict_rows
+        ]
+        packed = pack_patterns(circuit.inputs, dict_rows)
+        engine = compile_circuit(circuit, backend="python")
+        from_packed = engine.eval_outputs_sliced(packed, width=patterns)
+        assert engine.eval_outputs_sliced(dict_rows) == from_packed
+        assert engine.eval_outputs_sliced(bit_rows) == from_packed
+
+    def test_packed_mapping_requires_width(self):
+        engine = compile_circuit(c17())
+        with pytest.raises(CircuitError, match="width is required"):
+            engine.eval_outputs_sliced({name: 1 for name in engine.input_names})
+
+    def test_row_count_width_mismatch_rejected(self):
+        engine = compile_circuit(c17())
+        rows = [{name: 0 for name in engine.input_names}] * 3
+        with pytest.raises(CircuitError, match="does not match"):
+            engine.eval_outputs_sliced(rows, width=4)
+
+    def test_empty_patterns_rejected(self):
+        engine = compile_circuit(c17())
+        with pytest.raises(CircuitError, match="at least one pattern"):
+            engine.eval_outputs_sliced([])
+
+    def test_node_values_sliced_matches_simulate(self):
+        circuit = generate_random_circuit("nvs", 6, 2, 50, seed=31)
+        engine = compile_circuit(circuit, backend="python")
+        rng = make_rng(4)
+        width = 130
+        values = {name: rng.getrandbits(width) for name in circuit.inputs}
+        full = simulate_interpreted(circuit, values, width=width)
+        nodes = tuple(circuit.gates[:5])
+        assert engine.node_values_sliced(nodes, values, width=width) == tuple(
+            full[n] for n in nodes
+        )
+
+
+class TestPopcounts:
+    @pytest.mark.parametrize(
+        "backend", ["python", pytest.param("numpy", marks=requires_numpy)]
+    )
+    def test_node_popcounts_match_simulation(
+        self, backend, forced_vectorized
+    ):
+        circuit = generate_random_circuit("pc", 9, 4, 90, seed=41)
+        rng = make_rng(6)
+        width = 300
+        values = {name: rng.getrandbits(width) for name in circuit.inputs}
+        reference = simulate_interpreted(circuit, values, width=width)
+        engine = compile_circuit(circuit, backend=backend)
+        counts = engine.node_popcounts(values, width)
+        assert counts == {
+            node: word.bit_count() for node, word in reference.items()
+        }
+
+    @requires_numpy
+    def test_popcounts_without_bitwise_count(
+        self, forced_vectorized, monkeypatch
+    ):
+        """numpy < 2.0 has no bitwise_count; the bigint fallback agrees."""
+        import numpy
+
+        monkeypatch.delattr(numpy, "bitwise_count", raising=False)
+        circuit = generate_random_circuit("pcold", 7, 3, 70, seed=43)
+        rng = make_rng(8)
+        width = 257
+        values = {name: rng.getrandbits(width) for name in circuit.inputs}
+        engine = compile_circuit(circuit, backend="numpy")
+        python_counts = compile_circuit(
+            circuit, backend="python"
+        ).node_popcounts(values, width)
+        assert engine.node_popcounts(values, width) == python_counts
+
+    def test_bad_width_rejected(self):
+        engine = compile_circuit(c17())
+        with pytest.raises(CircuitError, match="width must be"):
+            engine.node_popcounts({}, 0)
+
+
+class TestOracleSliced:
+    def test_query_sliced_matches_query_batch(self):
+        circuit = generate_random_circuit("orc", 7, 3, 60, seed=51)
+        from repro.attacks.oracle import IOOracle
+
+        oracle = IOOracle(circuit)
+        rng = make_rng(12)
+        patterns = [
+            {name: rng.getrandbits(1) for name in oracle.input_names}
+            for _ in range(33)
+        ]
+        rows = oracle.query_batch(patterns)
+        before = oracle.query_count
+        words = oracle.query_sliced(patterns)
+        assert oracle.query_count == before + len(patterns)
+        for j, row in enumerate(rows):
+            assert tuple(
+                (word >> j) & 1 for word in words
+            ) == tuple(row[name] for name in oracle.output_names)
+
+    def test_query_sliced_empty(self):
+        from repro.attacks.oracle import IOOracle
+
+        oracle = IOOracle(c17())
+        assert oracle.query_sliced([]) == tuple(
+            0 for _ in oracle.output_names
+        )

@@ -50,6 +50,12 @@ class TestEquivalenceWithInterpreter:
             interpreted = simulate_interpreted(circuit, values, width=width)
             compiled = simulate(circuit, values, width=width)
             assert compiled == interpreted, f"mismatch on seed {seed}"
+            sliced = compile_circuit(circuit).eval_outputs_sliced(
+                values, width=width
+            )
+            assert sliced == tuple(
+                interpreted[name] for name in circuit.outputs
+            ), f"sliced mismatch on seed {seed}"
             checked += 1
         assert checked >= 100
 
