@@ -16,7 +16,15 @@ pre-compilation implementation kept for differential testing):
   entry point ``eval_outputs_sliced`` on each available backend;
 - **signal_probability** — a 2^19-pattern per-node popcount sweep (the
   SPS shape) on each available backend, where the numpy
-  ``bitwise_count`` reduction pays off.
+  ``bitwise_count`` reduction pays off;
+- **sharded_sweep** — a 2^17-pattern outputs + per-node-popcount sweep
+  through the process-sharded layer (``repro.circuit.sharding``)
+  against the same sweep on the single-process sliced path. The
+  speedups are machine-*parallelism*-dependent (they are ~1x or below
+  on a single-core host, where the pool only adds overhead); the
+  benchmark asserts bit-exactness everywhere (a hard failure) and, on
+  multi-core hosts only, warns — without failing — when the popcount
+  speedup misses its target.
 
 Run ``python benchmarks/bench_simulate.py`` from the repo root (with
 ``PYTHONPATH=src``); results are printed and written to
@@ -36,6 +44,7 @@ from pathlib import Path
 
 from repro.attacks.fall.prefilter import passes_unateness_sim
 from repro.attacks.oracle import IOOracle
+from repro.circuit import sharding
 from repro.circuit.analysis import extract_cone
 from repro.circuit.backends import NumpyWordBackend, numpy_available
 from repro.circuit.compiled import compile_circuit, pack_patterns
@@ -45,6 +54,7 @@ from repro.utils.rng import make_rng
 
 _REPEATS = 5
 _MIN_SLICED_SPEEDUP = 40.0
+_MIN_SHARDED_SPEEDUP = 1.5  # multi-core target; warn-only, never fails
 
 
 def _best_of(fn, repeats: int = _REPEATS) -> float:
@@ -244,6 +254,75 @@ def bench_signal_probability() -> dict:
     return entry
 
 
+def bench_sharded_sweep() -> dict:
+    """The sharding acceptance workload: one 2^17-pattern wide sweep.
+
+    Times the outputs-only sweep and the per-node popcount reduction
+    (the SPS shape — the ROADMAP's >10^5-pattern workload) on the
+    single-process sliced path and through the process-sharded layer
+    with the pool and per-worker compile caches warmed. Both paths are
+    asserted bit-exact before anything is timed.
+    """
+    circuit = generate_random_circuit("bench_shard", 24, 8, 600, seed=11)
+    patterns = 1 << 17
+    rng = make_rng(7)
+    values = {
+        name: rng.getrandbits(patterns) for name in circuit.inputs
+    }
+    engine = compile_circuit(circuit, backend="python")
+    jobs = min(8, max(2, sharding.cpu_jobs()))
+
+    outputs_ref = engine.eval_outputs_sliced(values, width=patterns)
+    popcounts_ref = engine.node_popcounts(values, patterns)
+    sharded_kwargs = dict(backend="python", jobs=jobs, threshold=1)
+    # Warm the pool + per-worker compile caches, and prove bit-exactness.
+    bit_exact = (
+        sharding.sweep_outputs(circuit, values, patterns, **sharded_kwargs)
+        == outputs_ref
+        and sharding.sweep_popcounts(
+            circuit, values, patterns, **sharded_kwargs
+        )
+        == popcounts_ref
+    )
+
+    rounds = 5  # single sweeps are ms-scale; time a block per repeat
+
+    def single_outputs():
+        for _ in range(rounds):
+            engine.eval_outputs_sliced(values, width=patterns)
+
+    def sharded_outputs():
+        for _ in range(rounds):
+            sharding.sweep_outputs(
+                circuit, values, patterns, **sharded_kwargs
+            )
+
+    def single_popcounts():
+        for _ in range(rounds):
+            engine.node_popcounts(values, patterns)
+
+    def sharded_popcounts():
+        for _ in range(rounds):
+            sharding.sweep_popcounts(
+                circuit, values, patterns, **sharded_kwargs
+            )
+
+    entry = {
+        "workload": f"{patterns}-pattern outputs + popcount sweeps, "
+                    "single-process vs process-sharded",
+        "gates": circuit.num_gates,
+        "cpus": sharding.cpu_jobs(),
+        "jobs": jobs,
+        "bit_exact": bit_exact,
+        "single_outputs_s": _best_of(single_outputs) / rounds,
+        "sharded_outputs_s": _best_of(sharded_outputs) / rounds,
+        "single_popcounts_s": _best_of(single_popcounts) / rounds,
+        "sharded_popcounts_s": _best_of(sharded_popcounts) / rounds,
+    }
+    sharding.shutdown_pool()
+    return entry
+
+
 def bench_compile_cost() -> dict:
     circuit = generate_random_circuit("bench_compile", 24, 8, 600, seed=11)
 
@@ -277,6 +356,7 @@ def main(argv: list[str] | None = None) -> int:
         "prefilter_sweep": bench_prefilter_sweep(),
         "sliced_sweep": bench_sliced_sweep(),
         "signal_probability": bench_signal_probability(),
+        "sharded_sweep": bench_sharded_sweep(),
         "compile_cost": bench_compile_cost(),
     }
     for name, entry in suites.items():
@@ -298,6 +378,13 @@ def main(argv: list[str] | None = None) -> int:
             entry["numpy_popcount_speedup"] = round(
                 entry["python_s"] / entry["numpy_s"], 2
             )
+        if "single_outputs_s" in entry:
+            entry["sharded_outputs_speedup"] = round(
+                entry["single_outputs_s"] / entry["sharded_outputs_s"], 2
+            )
+            entry["sharded_popcount_speedup"] = round(
+                entry["single_popcounts_s"] / entry["sharded_popcounts_s"], 2
+            )
     report = {
         "bench": "simulate",
         "python": sys.version.split()[0],
@@ -318,6 +405,25 @@ def main(argv: list[str] | None = None) -> int:
             f"sliced_sweep: bit-sliced speedup "
             f"{sliced['sliced_python_speedup']}x below the "
             f"{_MIN_SLICED_SPEEDUP:g}x acceptance floor"
+        )
+    sharded = suites["sharded_sweep"]
+    if not sharded["bit_exact"]:
+        failures.append("sharded_sweep: sharded results are NOT bit-exact")
+    if (
+        sharded["cpus"] >= 2
+        and sharded["sharded_popcount_speedup"] < _MIN_SHARDED_SPEEDUP
+    ):
+        # Parallel speedups only exist where parallel hardware does (a
+        # single-core host records the expected overhead instead), and
+        # even on multi-core hosts they depend on how loaded / shared
+        # the machine is — so a shortfall is reported loudly but never
+        # fails the run, matching bench_compare's treatment of
+        # parallelism-dependent ratios as informational.
+        print(
+            f"WARNING (informational): sharded_sweep popcount speedup "
+            f"{sharded['sharded_popcount_speedup']}x on a "
+            f"{sharded['cpus']}-core host, below the "
+            f"{_MIN_SHARDED_SPEEDUP:g}x multi-core target"
         )
     if failures:
         for failure in failures:

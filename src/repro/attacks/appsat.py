@@ -18,7 +18,7 @@ from __future__ import annotations
 from repro.attacks.oracle import IOOracle
 from repro.attacks.results import AttackResult, AttackStatus
 from repro.circuit.circuit import Circuit
-from repro.circuit.compiled import compile_circuit
+from repro.circuit.sharding import sweep_outputs
 from repro.circuit.tseitin import encode_circuit, encode_under_assignment
 from repro.errors import AttackError
 from repro.sat.cnf import Cnf
@@ -155,8 +155,8 @@ def appsat_attack(
         observed_by_name = dict(
             zip(oracle.output_names, oracle.query_sliced(samples))
         )
-        predicted_words = compile_circuit(locked).eval_outputs_sliced(
-            [{**sample, **key_assignment} for sample in samples]
+        predicted_words = sweep_outputs(
+            locked, [{**sample, **key_assignment} for sample in samples]
         )
         wrong = 0
         for name, predicted in zip(output_names, predicted_words):

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from repro.circuit.analysis import support_table
 from repro.circuit.circuit import Circuit
-from repro.circuit.compiled import compile_circuit
+from repro.circuit.sharding import sweep_node_values
 from repro.circuit.tseitin import encode_circuit
 from repro.sat.cnf import Cnf
 from repro.sat.solver import Solver, SolveStatus
@@ -113,7 +113,7 @@ def _classify_sim_batch(
         name: 0b0011 if locked.is_key_input(name) else 0b0101
         for name in locked.inputs
     }
-    words = compile_circuit(locked).node_values_sliced(nodes, values, width=4)
+    words = sweep_node_values(locked, nodes, values, width=4)
     verdicts: list[bool | None] = []
     for table in words:
         if table == _XOR_TABLE:

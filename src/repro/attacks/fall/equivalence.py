@@ -13,8 +13,8 @@ from collections.abc import Mapping
 
 from repro.circuit.aig import aig_from_circuit
 from repro.circuit.circuit import Circuit
-from repro.circuit.compiled import compile_circuit
 from repro.circuit.equivalence import check_equivalence
+from repro.circuit.sharding import sweep_outputs
 from repro.circuit.gates import GateType
 from repro.errors import AttackError
 from repro.locking.comparators import add_cube_detector, add_hamming_distance_equals
@@ -77,12 +77,8 @@ def confirm_cube(
     # the prefilter sweeps that ran on the same cone object).
     rng = make_rng(1)
     values = {name: rng.getrandbits(sim_patterns) for name in inputs}
-    (cone_out,) = compile_circuit(cone).eval_outputs_sliced(
-        values, width=sim_patterns
-    )
-    (ref_out,) = compile_circuit(reference).eval_outputs_sliced(
-        values, width=sim_patterns
-    )
+    (cone_out,) = sweep_outputs(cone, values, width=sim_patterns)
+    (ref_out,) = sweep_outputs(reference, values, width=sim_patterns)
     if cone_out != ref_out:
         return False
 

@@ -37,8 +37,8 @@ from repro.attacks.oracle import IOOracle
 from repro.attacks.results import AttackResult, AttackStatus
 from repro.circuit.analysis import extract_cone, support_table
 from repro.circuit.circuit import Circuit
-from repro.circuit.compiled import compile_circuit
 from repro.circuit.gates import GateType
+from repro.circuit.sharding import sweep_node_values
 from repro.errors import AttackError
 from repro.utils.rng import make_rng
 from repro.utils.timer import Budget, Stopwatch
@@ -135,8 +135,9 @@ def fall_attack(
     sim_inputs = {
         name: rng.getrandbits(_DENSITY_PATTERNS) for name in locked.inputs
     }
-    candidate_words = compile_circuit(locked).node_values(
-        tuple(report.candidate_nodes), sim_inputs, width=_DENSITY_PATTERNS
+    candidate_words = sweep_node_values(
+        locked, tuple(report.candidate_nodes), sim_inputs,
+        width=_DENSITY_PATTERNS,
     )
     density = {
         node: word.bit_count() / _DENSITY_PATTERNS

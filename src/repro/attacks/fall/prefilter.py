@@ -24,7 +24,7 @@ from __future__ import annotations
 from math import comb
 
 from repro.circuit.circuit import Circuit
-from repro.circuit.compiled import compile_circuit
+from repro.circuit.sharding import sweep_outputs
 from repro.errors import AttackError
 from repro.utils.rng import RngLike, make_rng
 
@@ -54,10 +54,9 @@ def candidate_polarities(
     if len(cone.outputs) != 1:
         raise AttackError("candidate_polarities expects a single-output cone")
     rng = make_rng(seed)
-    engine = compile_circuit(cone)
     inputs = list(cone.inputs)
     values = {name: rng.getrandbits(patterns) for name in inputs}
-    (word,) = engine.eval_outputs_sliced(values, width=patterns)
+    (word,) = sweep_outputs(cone, values, width=patterns)
     density = word.bit_count() / patterns
     threshold = max(
         _MIN_EXPECTED, _DENSITY_MARGIN * strip_density(len(inputs), h)
@@ -83,7 +82,6 @@ def passes_unateness_sim(
     if len(cone.outputs) != 1:
         raise AttackError("passes_unateness_sim expects a single-output cone")
     rng = make_rng(seed)
-    engine = compile_circuit(cone)
     inputs = list(cone.inputs)
     base = {name: rng.getrandbits(patterns) for name in inputs}
     mask = (1 << patterns) - 1
@@ -91,7 +89,7 @@ def passes_unateness_sim(
     for pivot in inputs:
         cofactors = dict(doubled)
         cofactors[pivot] = mask << patterns  # low half 0, high half 1
-        (word,) = engine.eval_outputs_sliced(cofactors, width=2 * patterns)
+        (word,) = sweep_outputs(cone, cofactors, width=2 * patterns)
         value_low = word & mask
         value_high = (word >> patterns) & mask
         positive_violation = value_low & ~value_high & mask

@@ -13,7 +13,8 @@ function call instead of a full interpreted netlist walk. Attack loops
 that need many patterns at once should use :meth:`IOOracle.query_batch`
 (per-pattern dict rows) or :meth:`IOOracle.query_sliced` (packed words,
 one per output), both of which pack all patterns into one wide
-simulation on the selected evaluation backend.
+simulation on the selected evaluation backend — sharded across worker
+processes (:mod:`repro.circuit.sharding`) when the batch is wide enough.
 """
 
 from __future__ import annotations
@@ -21,7 +22,8 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 
 from repro.circuit.circuit import Circuit
-from repro.circuit.compiled import compile_circuit
+from repro.circuit.compiled import compile_circuit, unpack_sliced_rows
+from repro.circuit.sharding import sweep_outputs
 from repro.circuit.simulate import require_binary_inputs
 from repro.errors import AttackError
 
@@ -73,7 +75,10 @@ class IOOracle:
         for assignment in assignments:
             self._check_assignment(assignment)
         self.query_count += len(assignments)
-        rows = compile_circuit(self._circuit).query_batch(assignments)
+        if not assignments:
+            return []
+        words = sweep_outputs(self._circuit, assignments)
+        rows = unpack_sliced_rows(words, len(assignments))
         return [dict(zip(self.output_names, row)) for row in rows]
 
     def query_sliced(
@@ -92,7 +97,7 @@ class IOOracle:
         self.query_count += len(assignments)
         if not assignments:
             return tuple(0 for _ in self.output_names)
-        return compile_circuit(self._circuit).eval_outputs_sliced(assignments)
+        return sweep_outputs(self._circuit, assignments)
 
     def query_bits(self, bits: Sequence[int]) -> tuple[int, ...]:
         """Positional variant: bits follow ``input_names`` order."""

@@ -29,8 +29,8 @@ from dataclasses import dataclass
 from repro.attacks.results import AttackResult, AttackStatus
 from repro.circuit.analysis import support_table
 from repro.circuit.circuit import Circuit
-from repro.circuit.compiled import compile_circuit
 from repro.circuit.gates import GateType
+from repro.circuit.sharding import sweep_popcounts
 from repro.circuit.opt import optimize, sweep
 from repro.errors import AttackError, CircuitError
 from repro.utils.rng import RngLike, make_rng
@@ -60,14 +60,20 @@ def estimate_signal_probabilities(
     circuit: Circuit,
     patterns: int = 4096,
     seed: RngLike = 0,
+    jobs: int | str | None = None,
 ) -> dict[str, SkewEstimate]:
-    """Monte-Carlo signal probabilities for every node (keys included)."""
+    """Monte-Carlo signal probabilities for every node (keys included).
+
+    The pattern words are drawn once in the calling process, so the
+    estimate is identical for every ``jobs`` setting; wide sweeps are
+    sharded across the worker pool (``REPRO_SIM_JOBS``, or ``jobs=``).
+    """
     rng = make_rng(seed)
-    engine = compile_circuit(circuit)
-    values = {name: rng.getrandbits(patterns) for name in engine.input_names}
+    values = {name: rng.getrandbits(patterns) for name in circuit.inputs}
     # The reduction happens inside the backend (node_popcounts), so no
-    # per-node packed bigints are materialized on the numpy path.
-    counts = engine.node_popcounts(values, patterns)
+    # per-node packed bigints are materialized on the numpy path; above
+    # the sharding crossover each worker reduces its own chunk.
+    counts = sweep_popcounts(circuit, values, patterns, jobs=jobs)
     return {
         node: SkewEstimate(node, counts[node] / patterns)
         for node in circuit.nodes
@@ -79,6 +85,7 @@ def sps_attack(
     patterns: int = 4096,
     seed: RngLike = 0,
     skew_threshold: float = _SKEW_THRESHOLD,
+    jobs: int | str | None = None,
 ) -> AttackResult:
     """Run the SPS removal attack.
 
@@ -89,7 +96,9 @@ def sps_attack(
     stopwatch = Stopwatch()
     if not locked.key_inputs:
         raise AttackError("circuit has no key inputs to attack")
-    probabilities = estimate_signal_probabilities(locked, patterns, seed)
+    probabilities = estimate_signal_probabilities(
+        locked, patterns, seed, jobs=jobs
+    )
 
     reconstructed, info = _try_xor_stage(locked, probabilities, skew_threshold)
     if reconstructed is None:

@@ -22,6 +22,15 @@ from repro.circuit.backends import (
     resolve_backend,
 )
 from repro.circuit.compiled import CompiledCircuit, compile_circuit
+from repro.circuit.sharding import (
+    ShardPlan,
+    plan_sweep,
+    resolve_jobs,
+    sweep_node_values,
+    sweep_outputs,
+    sweep_popcounts,
+    sweep_truth_table,
+)
 from repro.circuit.simulate import (
     cone_truth_table,
     simulate,
@@ -57,6 +66,13 @@ __all__ = [
     "circuit_depth",
     "CompiledCircuit",
     "compile_circuit",
+    "ShardPlan",
+    "plan_sweep",
+    "resolve_jobs",
+    "sweep_node_values",
+    "sweep_outputs",
+    "sweep_popcounts",
+    "sweep_truth_table",
     "available_backends",
     "numpy_available",
     "resolve_backend",

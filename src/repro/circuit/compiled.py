@@ -107,6 +107,17 @@ def pack_patterns(
     return packed
 
 
+def unpack_sliced_rows(
+    words: Sequence[int], count: int
+) -> list[tuple[int, ...]]:
+    """Transpose packed per-signal words into ``count`` per-pattern rows.
+
+    Row ``j`` collects bit ``j`` of every word — the inverse of
+    :func:`pack_patterns` on the result side.
+    """
+    return [tuple((word >> j) & 1 for word in words) for j in range(count)]
+
+
 class _Program:
     """One generated straight-line function for a fixed evaluated region."""
 
@@ -336,6 +347,35 @@ class CompiledCircuit:
             words.append(word)
         return words, len(rows)
 
+    def packed_sliced_inputs(
+        self,
+        patterns,
+        width: int | None = None,
+        nodes: Sequence[str] | None = None,
+    ) -> tuple[dict[str, int], int]:
+        """Normalize a bulk-pattern argument to named packed words.
+
+        Returns ``({input_name: packed word}, width)`` covering exactly
+        the inputs the outputs program (or the ``nodes`` program) reads,
+        in program order. This is the hand-off point for the sharding
+        layer (:mod:`repro.circuit.sharding`), which slices the words
+        into per-chunk work units.
+        """
+        if nodes is None:
+            program = self._program(
+                self.output_names, results=self.output_names
+            )
+        else:
+            program = self._program(tuple(nodes), results=tuple(nodes))
+        words, width = self._sliced_inputs(program, patterns, width)
+        return dict(zip(program.input_names, words)), width
+
+    def region_input_names(
+        self, targets: Sequence[str] | None = None
+    ) -> tuple[str, ...]:
+        """The inputs read by the evaluated region of ``targets``."""
+        return self._program(targets).input_names
+
     def eval_outputs_sliced(
         self,
         patterns,
@@ -399,10 +439,7 @@ class CompiledCircuit:
         width = len(assignments)
         if width == 0:
             return []
-        outputs = self.eval_outputs_sliced(assignments)
-        return [
-            tuple((word >> j) & 1 for word in outputs) for j in range(width)
-        ]
+        return unpack_sliced_rows(self.eval_outputs_sliced(assignments), width)
 
     def truth_table(self, node: str) -> tuple[int, tuple[str, ...]]:
         """Exhaustive table of ``node`` over its own support.

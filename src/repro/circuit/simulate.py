@@ -30,6 +30,7 @@ from collections.abc import Mapping, Sequence
 from repro.circuit.circuit import Circuit
 from repro.circuit.compiled import canonical_input_words, compile_circuit
 from repro.circuit.gates import GateType, evaluate_gate
+from repro.circuit.sharding import sweep_node_values, sweep_truth_table
 from repro.errors import CircuitError
 
 
@@ -150,12 +151,14 @@ def truth_table(circuit: Circuit, node: str | None = None) -> int:
             raise CircuitError("truth_table needs an explicit node "
                                "for multi-output circuits")
         node = circuit.outputs[0]
-    engine = compile_circuit(circuit)
     all_inputs = circuit.inputs
     if len(all_inputs) <= 24:
         values, width = exhaustive_input_values(all_inputs)
-        return engine.simulate(values, width=width, targets=[node])[node]
-    table, _ = engine.truth_table(node)
+        # Above the sharding crossover (2^15 patterns — i.e. >15 inputs)
+        # the exhaustive enumeration fans out across worker processes.
+        (table,) = sweep_node_values(circuit, (node,), values, width)
+        return table
+    table, _ = sweep_truth_table(circuit, node)
     return table
 
 
@@ -167,6 +170,8 @@ def cone_truth_table(
     Returns ``(table, support_inputs)``: bit ``j`` of ``table`` is the
     node's value when support input ``i`` is bit ``i`` of ``j``. Always
     enumerates just the cone, so it stays feasible on arbitrarily wide
-    circuits as long as the cone has at most 24 inputs.
+    circuits as long as the cone has at most 24 inputs. Cones wider
+    than 15 inputs cross the sharding threshold and are enumerated in
+    parallel chunks (see :mod:`repro.circuit.sharding`).
     """
-    return compile_circuit(circuit).truth_table(node)
+    return sweep_truth_table(circuit, node)

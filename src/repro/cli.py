@@ -12,12 +12,16 @@ Three commands (also exposed as console scripts via pyproject):
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from contextlib import contextmanager
 
 from repro.attacks.fall.pipeline import fall_attack
 from repro.attacks.oracle import IOOracle
 from repro.attacks.sat_attack import sat_attack
 from repro.circuit.bench_io import read_bench, save_bench
+from repro.circuit.sharding import ENV_JOBS, parse_jobs
+from repro.errors import CircuitError
 from repro.locking import (
     lock_antisat,
     lock_random_xor,
@@ -26,6 +30,51 @@ from repro.locking import (
     lock_ttlock,
 )
 from repro.utils.timer import Budget
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        default=None,
+        metavar="N",
+        help="worker processes for sharded simulation sweeps and "
+             "parallel suite runs: a positive integer or 'auto' "
+             "(default: the REPRO_SIM_JOBS environment variable, then "
+             "'auto' = all usable CPU cores)",
+    )
+
+
+@contextmanager
+def _jobs_scope(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+):
+    """Validate the jobs request and publish it to ``REPRO_SIM_JOBS``.
+
+    Validation covers both the ``--jobs`` flag and an inherited
+    ``REPRO_SIM_JOBS`` value, so a typo fails fast with a usage error
+    instead of surfacing mid-attack from the sweep layer. The sweep
+    layer and suite runner both read the environment, so one assignment
+    covers every downstream consumer — and it is scoped to this
+    invocation (the prior value is restored on exit), so one command's
+    ``--jobs`` never leaks into later in-process calls.
+    """
+    source = args.jobs if args.jobs is not None else os.environ.get(ENV_JOBS)
+    try:
+        parse_jobs(source)
+    except CircuitError as error:
+        parser.error(str(error))
+    if args.jobs is None:
+        yield
+        return
+    previous = os.environ.get(ENV_JOBS)
+    os.environ[ENV_JOBS] = args.jobs
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_JOBS, None)
+        else:
+            os.environ[ENV_JOBS] = previous
 
 
 def main_lock(argv: list[str] | None = None) -> int:
@@ -102,17 +151,21 @@ def main_attack(argv: list[str] | None = None) -> int:
         help="unlocked .bench file to answer I/O queries",
     )
     parser.add_argument("--time-limit", type=float, default=1000.0)
+    _add_jobs_argument(parser)
     args = parser.parse_args(argv)
 
-    locked = read_bench(args.netlist)
-    oracle = IOOracle(read_bench(args.oracle)) if args.oracle else None
-    budget = Budget(args.time_limit)
-    if args.attack == "sat":
-        if oracle is None:
-            parser.error("the SAT attack requires --oracle")
-        result = sat_attack(locked, oracle, budget=budget)
-    else:
-        result = fall_attack(locked, h=args.h, oracle=oracle, budget=budget)
+    with _jobs_scope(parser, args):
+        locked = read_bench(args.netlist)
+        oracle = IOOracle(read_bench(args.oracle)) if args.oracle else None
+        budget = Budget(args.time_limit)
+        if args.attack == "sat":
+            if oracle is None:
+                parser.error("the SAT attack requires --oracle")
+            result = sat_attack(locked, oracle, budget=budget)
+        else:
+            result = fall_attack(
+                locked, h=args.h, oracle=oracle, budget=budget
+            )
     print(result.summary())
     if result.key is not None:
         print("key:", "".join(str(b) for b in result.key))
@@ -134,21 +187,32 @@ def main_experiments(argv: list[str] | None = None) -> int:
         choices=("table1", "fig5", "fig6", "summary", "all"),
     )
     parser.add_argument("--csv", default=None, help="also write CSV here")
+    _add_jobs_argument(parser)
     args = parser.parse_args(argv)
 
     from repro.experiments import fig5, fig6, summary, table1
 
+    # Every artifact picks the worker count up from REPRO_SIM_JOBS
+    # (published for this invocation when --jobs was given); the summary
+    # sweep additionally parallelizes across its (circuit × h) grid
+    # cells.
     mains = {
         "table1": table1.main,
         "fig5": fig5.main,
         "fig6": fig6.main,
         "summary": summary.main,
     }
-    if args.artifact == "all":
-        for name, entry in mains.items():
-            print(entry(csv_path=f"{args.csv}.{name}.csv" if args.csv else None))
-    else:
-        print(mains[args.artifact](csv_path=args.csv))
+    with _jobs_scope(parser, args):
+        if args.artifact == "all":
+            for name, entry in mains.items():
+                print(
+                    entry(
+                        csv_path=f"{args.csv}.{name}.csv"
+                        if args.csv else None
+                    )
+                )
+        else:
+            print(mains[args.artifact](csv_path=args.csv))
     return 0
 
 

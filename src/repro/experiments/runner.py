@@ -1,4 +1,16 @@
-"""Timed attack execution + success classification for the harness."""
+"""Timed attack execution + success classification for the harness.
+
+Besides the single-run entry points (:func:`run_fall`,
+:func:`run_sat_attack`, :func:`run_key_confirmation`), the module
+provides a process-parallel suite driver: :func:`run_suite` maps
+:class:`SuiteTask` cells onto the persistent worker pool shared with the
+sharded simulation layer (:mod:`repro.circuit.sharding`). Every task
+carries its own deterministic seeds (the benchmark is rebuilt inside the
+worker from the profile seed + lock seed), and records come back in task
+order, so a parallel sweep produces the same summary statistics and
+records as a sequential one — identical modulo the wall-clock timing
+fields, which vary run to run regardless of the worker count.
+"""
 
 from __future__ import annotations
 
@@ -10,7 +22,9 @@ from repro.attacks.oracle import IOOracle
 from repro.attacks.results import AttackResult, AttackStatus
 from repro.attacks.sat_attack import sat_attack
 from repro.circuit.equivalence import check_equivalence
-from repro.experiments.suite import LockedBenchmark
+from repro.circuit.sharding import map_in_processes
+from repro.experiments.profiles import CircuitProfile
+from repro.experiments.suite import LockedBenchmark, build_benchmark
 from repro.utils.timer import Budget
 
 
@@ -122,6 +136,48 @@ def run_sat_attack(
     )
     solved = result.status is AttackStatus.SUCCESS
     return _record(benchmark, result, solved)
+
+
+@dataclass(frozen=True)
+class SuiteTask:
+    """One picklable (circuit, defense) cell of an evaluation sweep.
+
+    The worker rebuilds the benchmark from the profile's deterministic
+    generation seed plus ``lock_seed``, so the task ships a few hundred
+    bytes instead of a netlist, and the run is reproducible regardless
+    of which worker executes it.
+    """
+
+    profile: CircuitProfile
+    h_label: str
+    time_limit: float
+    with_oracle: bool = False
+    lock_seed: int = 0
+    analyses: tuple[str, ...] | None = None
+
+
+def run_suite_task(task: SuiteTask) -> RunRecord:
+    """Build one benchmark cell and run FALL on it (worker entry)."""
+    benchmark = build_benchmark(task.profile, task.h_label, task.lock_seed)
+    return run_fall(
+        benchmark,
+        task.time_limit,
+        with_oracle=task.with_oracle,
+        analyses=task.analyses,
+    )
+
+
+def run_suite(
+    tasks: list[SuiteTask], jobs: int | str | None = None
+) -> list[RunRecord]:
+    """Run a list of suite cells, optionally across worker processes.
+
+    ``jobs`` resolves like the sharded sweep layer (explicit argument,
+    then ``REPRO_SIM_JOBS``, then auto); ``jobs=1`` runs sequentially in
+    this process. Records are returned in task order either way, so
+    summaries merged from them are independent of the worker count.
+    """
+    return map_in_processes(run_suite_task, tasks, jobs=jobs)
 
 
 def run_key_confirmation(

@@ -22,8 +22,7 @@ from dataclasses import dataclass, field
 from repro.attacks.results import AttackStatus
 from repro.experiments.profiles import active_profiles, time_limit_seconds
 from repro.experiments.report import render_table, write_csv
-from repro.experiments.runner import RunRecord, run_fall
-from repro.experiments.suite import build_benchmark
+from repro.experiments.runner import RunRecord, SuiteTask, run_suite
 from repro.utils.bitops import complement_bits
 
 H_LABELS = ("hd0", "m/8", "m/4", "m/3")
@@ -48,25 +47,40 @@ class SummaryStats:
         return self.unique_key / self.defeated if self.defeated else 0.0
 
 
-def run_summary(time_limit: float | None = None) -> SummaryStats:
+def run_summary(
+    time_limit: float | None = None, jobs: int | str | None = None
+) -> SummaryStats:
+    """Sweep the grid and fold the records into headline statistics.
+
+    ``jobs`` spreads the (circuit × h) cells across worker processes
+    (explicit argument, then ``REPRO_SIM_JOBS``, then auto-detection);
+    every cell is seeded independently and the records are merged in
+    grid order, so the summary is identical for every worker count —
+    up to wall-clock effects: timing fields always vary, and a cell
+    running close to its time limit can cross it under heavy
+    oversubscription. Keep ``jobs`` at or below the core count when
+    timeout classifications matter.
+    """
     limit = time_limit if time_limit is not None else time_limit_seconds()
+    tasks = [
+        SuiteTask(profile=profile, h_label=label, time_limit=limit)
+        for profile in active_profiles()
+        for label in H_LABELS
+    ]
     stats = SummaryStats()
-    for profile in active_profiles():
-        for label in H_LABELS:
-            benchmark = build_benchmark(profile, label)
-            record = run_fall(benchmark, limit, with_oracle=False)
-            stats.records.append(record)
-            stats.total += 1
-            if record.status is AttackStatus.TIMEOUT:
-                stats.timeouts += 1
-            if record.solved:
-                stats.defeated += 1
-                if record.shortlist_size <= 1:
-                    stats.unique_key += 1
-                else:
-                    stats.multi_key += 1
-                    if record.shortlist_size == 2:
-                        stats.complement_pairs += _is_complement_pair(record)
+    for record in run_suite(tasks, jobs=jobs):
+        stats.records.append(record)
+        stats.total += 1
+        if record.status is AttackStatus.TIMEOUT:
+            stats.timeouts += 1
+        if record.solved:
+            stats.defeated += 1
+            if record.shortlist_size <= 1:
+                stats.unique_key += 1
+            else:
+                stats.multi_key += 1
+                if record.shortlist_size == 2:
+                    stats.complement_pairs += _is_complement_pair(record)
     return stats
 
 
@@ -78,8 +92,10 @@ def _is_complement_pair(record: RunRecord) -> bool:
     return tuple(second) == complement_bits(first)
 
 
-def main(csv_path: str | None = None) -> str:
-    stats = run_summary()
+def main(
+    csv_path: str | None = None, jobs: int | str | None = None
+) -> str:
+    stats = run_summary(jobs=jobs)
     rows = [record.row() for record in stats.records]
     table = render_table(
         ("benchmark", "attack", "status", "solved", "t[s]", "queries", "shortlist"),

@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+import argparse
+
 import pytest
 
 from repro.circuit.bench_io import read_bench, save_bench
 from repro.circuit.equivalence import check_equivalence
 from repro.circuit.library import paper_example_circuit
-from repro.cli import main_attack, main_lock
+from repro.circuit.sharding import ENV_JOBS
+from repro.cli import _jobs_scope, main_attack, main_experiments, main_lock
 
 
 @pytest.fixture
@@ -102,3 +105,80 @@ class TestAttackCommand:
         )
         assert code == 0
         assert "key:" in capsys.readouterr().out
+
+
+class TestJobsFlag:
+    """--jobs / REPRO_SIM_JOBS parsing on the attack + experiment CLIs."""
+
+    @pytest.fixture
+    def locked_file(self, bench_file, tmp_path, capsys):
+        locked_path = tmp_path / "locked.bench"
+        main_lock(
+            [str(bench_file), str(locked_path), "--scheme", "ttlock"]
+        )
+        capsys.readouterr()
+        return locked_path
+
+    def test_jobs_flag_publishes_env_for_the_run_only(
+        self, locked_file, bench_file, monkeypatch, capsys
+    ):
+        import os
+
+        # While the command runs, --jobs is visible to every layer via
+        # the environment ...
+        monkeypatch.delenv(ENV_JOBS, raising=False)
+        parser = argparse.ArgumentParser()
+        with _jobs_scope(parser, argparse.Namespace(jobs="1")):
+            assert os.environ[ENV_JOBS] == "1"
+        assert ENV_JOBS not in os.environ
+        # ... but a full invocation restores whatever was set before,
+        # so one command's --jobs never leaks into later in-process
+        # calls.
+        monkeypatch.setenv(ENV_JOBS, "3")
+        code = main_attack(
+            [str(locked_file), "--oracle", str(bench_file), "--jobs", "1"]
+        )
+        assert code == 0
+        assert os.environ[ENV_JOBS] == "3"
+
+    def test_jobs_auto_accepted(
+        self, locked_file, bench_file, monkeypatch, capsys
+    ):
+        monkeypatch.delenv(ENV_JOBS, raising=False)
+        assert main_attack(
+            [str(locked_file), "--oracle", str(bench_file),
+             "--jobs", "auto"]
+        ) == 0
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "banana", "1.5"])
+    def test_invalid_jobs_flag_is_a_usage_error(
+        self, locked_file, bad, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main_attack([str(locked_file), "--jobs", bad])
+        assert excinfo.value.code == 2
+        assert "jobs" in capsys.readouterr().err
+
+    def test_invalid_env_jobs_is_a_usage_error(
+        self, locked_file, monkeypatch, capsys
+    ):
+        monkeypatch.setenv(ENV_JOBS, "many")
+        with pytest.raises(SystemExit) as excinfo:
+            main_attack([str(locked_file)])
+        assert excinfo.value.code == 2
+        assert "invalid jobs value" in capsys.readouterr().err
+
+    def test_experiments_parser_validates_jobs(self, capsys, monkeypatch):
+        monkeypatch.delenv(ENV_JOBS, raising=False)
+        with pytest.raises(SystemExit) as excinfo:
+            main_experiments(["summary", "--jobs", "zero"])
+        assert excinfo.value.code == 2
+
+    @pytest.mark.parametrize("main", [main_attack, main_experiments])
+    def test_help_documents_jobs(self, main, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--jobs" in out
+        assert "REPRO_SIM_JOBS" in out
