@@ -26,10 +26,18 @@ present in the baseline but absent from the fresh report (for example
 the numpy entries on the no-numpy CI leg) are skipped and listed, never
 failed.
 
-Usage (CI runs exactly this)::
+Usage (CI runs exactly this, once per benchmark report)::
 
     PYTHONPATH=src python benchmarks/bench_simulate.py --output fresh.json
     python benchmarks/bench_compare.py benchmarks/BENCH_simulate.json fresh.json
+    PYTHONPATH=src python benchmarks/bench_attacks.py --output fresh_attacks.json
+    python benchmarks/bench_compare.py benchmarks/BENCH_attacks.json fresh_attacks.json
+
+Any report whose suites carry ``*speedup`` keys participates; the
+attack-throughput suite (``bench_attacks.py``) gates its
+``engine_overhead_speedup`` (same workload, same core — the unified
+engine must stay out of the hot path) while its cross-algorithm and
+parallelism-dependent ratios are informational.
 """
 
 from __future__ import annotations
@@ -42,16 +50,19 @@ from pathlib import Path
 DEFAULT_TOLERANCE = 0.30
 
 # Ratios whose numerator and denominator run different implementations
-# (CPython bigint kernel vs numpy SIMD) or different degrees of
-# parallelism (single process vs the sharded worker pool): machine
-# speed / core count does not cancel, so they are reported but never
-# gate the build.
+# (CPython bigint kernel vs numpy SIMD), different algorithms (FALL vs
+# the SAT attack), or different degrees of parallelism (single process
+# vs the sharded worker pool / the racing portfolio): machine speed /
+# core count does not cancel, so they are reported but never gate the
+# build.
 INFORMATIONAL_RATIOS = frozenset(
     {
         "sliced_numpy_speedup",
         "numpy_popcount_speedup",
         "sharded_outputs_speedup",
         "sharded_popcount_speedup",
+        "fall_vs_sat_speedup",
+        "portfolio_parallel_speedup",
     }
 )
 

@@ -3,9 +3,23 @@
 The paper's contribution (the FALL attack pipeline and SAT-based key
 confirmation) plus the prior-work attacks used as baselines and context:
 the SAT attack [22], SPS [30], Double DIP [18] and AppSAT [17].
+
+Since the unified-engine refactor, every family is registered behind the
+uniform :class:`~repro.attacks.base.Attack` interface and driven through
+:func:`~repro.attacks.engine.run_attack` /
+:func:`~repro.attacks.engine.run_portfolio`; the per-family functions
+remain importable for direct, object-returning use.
 """
 
+from repro.attacks.base import Attack, AttackConfig, TelemetryRecorder
+from repro.attacks.engine import run_attack, run_portfolio
 from repro.attacks.oracle import IOOracle
+from repro.attacks.registry import (
+    all_attacks,
+    attack_names,
+    get_attack,
+    register_attack,
+)
 from repro.attacks.results import AttackResult, AttackStatus
 from repro.attacks.sat_attack import sat_attack
 from repro.attacks.key_confirmation import key_confirmation
@@ -16,9 +30,18 @@ from repro.attacks.appsat import appsat_attack
 from repro.attacks.guess import guess_keys
 
 __all__ = [
+    "Attack",
+    "AttackConfig",
+    "TelemetryRecorder",
     "IOOracle",
     "AttackResult",
     "AttackStatus",
+    "run_attack",
+    "run_portfolio",
+    "get_attack",
+    "attack_names",
+    "all_attacks",
+    "register_attack",
     "sat_attack",
     "key_confirmation",
     "fall_attack",

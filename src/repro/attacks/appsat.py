@@ -15,6 +15,7 @@ accepted by sampling.
 
 from __future__ import annotations
 
+from repro.attacks.base import TelemetryRecorder, telemetry_or_null
 from repro.attacks.oracle import IOOracle
 from repro.attacks.results import AttackResult, AttackStatus
 from repro.circuit.circuit import Circuit
@@ -36,6 +37,7 @@ def appsat_attack(
     queries_per_round: int = 64,
     error_threshold: float = 0.0,
     seed: RngLike = 0,
+    telemetry: TelemetryRecorder | None = None,
 ) -> AttackResult:
     """Run AppSAT.
 
@@ -45,6 +47,7 @@ def appsat_attack(
     key is accepted as approximately correct.
     """
     stopwatch = Stopwatch()
+    telemetry = telemetry_or_null(telemetry)
     rng = make_rng(seed)
     key_names = locked.key_inputs
     input_names = locked.circuit_inputs
@@ -115,7 +118,11 @@ def appsat_attack(
             elapsed_seconds=stopwatch.elapsed,
             oracle_queries=oracle.query_count - queries_before,
             iterations=iterations,
-            details={"approximate": approximate},
+            details={
+                "approximate": approximate,
+                "solver": solver.stats.as_dict(),
+                "key_solver": key_solver.stats.as_dict(),
+            },
         )
 
     iteration = 0
@@ -137,6 +144,12 @@ def appsat_attack(
             name: int(solver.model_value(var)) for name, var in x_vars.items()
         }
         add_io_constraint(pattern, oracle.query(pattern))
+        telemetry.iteration(
+            "cegis",
+            iteration,
+            oracle_queries=oracle.query_count - queries_before,
+            conflicts=solver.stats.conflicts,
+        )
 
         if iteration % settle_rounds:
             continue
@@ -162,6 +175,13 @@ def appsat_attack(
         for name, predicted in zip(output_names, predicted_words):
             wrong |= observed_by_name[name] ^ predicted
         errors = wrong.bit_count()
+        telemetry.event(
+            "validation_round",
+            stage="validate",
+            iteration=iteration,
+            samples=queries_per_round,
+            disagreements=errors,
+        )
         for j, sample in enumerate(samples):
             if (wrong >> j) & 1:
                 add_io_constraint(

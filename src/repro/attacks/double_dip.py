@@ -18,6 +18,7 @@ specialized to s = 2.
 
 from __future__ import annotations
 
+from repro.attacks.base import TelemetryRecorder, telemetry_or_null
 from repro.attacks.oracle import IOOracle
 from repro.attacks.results import AttackResult, AttackStatus
 from repro.circuit.circuit import Circuit
@@ -33,9 +34,11 @@ def double_dip_attack(
     oracle: IOOracle,
     budget: Budget | None = None,
     max_iterations: int | None = None,
+    telemetry: TelemetryRecorder | None = None,
 ) -> AttackResult:
     """Run the Double DIP attack (2-distinguishing input patterns)."""
     stopwatch = Stopwatch()
+    telemetry = telemetry_or_null(telemetry)
     key_names = locked.key_inputs
     input_names = locked.circuit_inputs
     output_names = locked.outputs
@@ -105,6 +108,10 @@ def double_dip_attack(
             elapsed_seconds=stopwatch.elapsed,
             oracle_queries=oracle.query_count - queries_before,
             iterations=iterations,
+            details={
+                "solver": solver.stats.as_dict(),
+                "key_solver": key_solver.stats.as_dict(),
+            },
         )
 
     iteration = 0
@@ -123,6 +130,12 @@ def double_dip_attack(
             name: int(solver.model_value(var)) for name, var in x_vars.items()
         }
         observed = oracle.query(distinguishing)
+        telemetry.iteration(
+            "cegis",
+            iteration,
+            oracle_queries=oracle.query_count - queries_before,
+            conflicts=solver.stats.conflicts,
+        )
         for key_set in key_sets:
             enc = encode_under_assignment(
                 locked, cnf, fixed=distinguishing, shared_vars=key_set

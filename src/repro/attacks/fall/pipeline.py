@@ -30,6 +30,7 @@ from repro.attacks.fall.distance2h import distance_2h
 from repro.attacks.fall.equivalence import confirm_cube
 from repro.attacks.fall.prefilter import passes_unateness_sim, strip_density
 from repro.attacks.fall.sliding_window import sliding_window
+from repro.attacks.base import TelemetryRecorder, telemetry_or_null
 from repro.attacks.fall.support_match import candidate_strip_nodes
 from repro.attacks.fall.unateness import analyze_unateness
 from repro.attacks.key_confirmation import key_confirmation
@@ -76,6 +77,7 @@ def fall_attack(
     cardinality_method: str = "seq",
     use_prefilter: bool = True,
     analyses: tuple[str, ...] | None = None,
+    telemetry: TelemetryRecorder | None = None,
 ) -> AttackResult:
     """Run the FALL attack against a TTLock/SFLL-HDh locked netlist.
 
@@ -87,6 +89,7 @@ def fall_attack(
     if h < 0:
         raise AttackError(f"invalid Hamming distance parameter h={h}")
     stopwatch = Stopwatch()
+    telemetry = telemetry_or_null(telemetry)
     budget = budget or Budget.unlimited()
     report = FallReport()
     key_names = locked.key_inputs
@@ -112,6 +115,9 @@ def fall_attack(
     report.comparators = find_comparators(locked, supports=supports)
     report.pairing = pairing_from_comparators(report.comparators)
     report.stage_seconds["comparators"] = stage.elapsed
+    telemetry.stage_done(
+        "comparators", stage.elapsed, found=len(report.comparators)
+    )
     if not report.comparators:
         return result(AttackStatus.FAILED)
 
@@ -121,6 +127,9 @@ def fall_attack(
         locked, report.comparators, supports=supports, limit=max_candidates
     )
     report.stage_seconds["support_match"] = stage.elapsed
+    telemetry.stage_done(
+        "support_match", stage.elapsed, candidates=len(report.candidate_nodes)
+    )
     if not report.candidate_nodes:
         return result(AttackStatus.FAILED)
 
@@ -160,9 +169,12 @@ def fall_attack(
     # Stages 3+4: functional analyses + equivalence confirmation.
     stage.restart()
     confirmed: list[dict[str, int]] = []
-    for node in ordered_candidates:
+    for candidate_index, node in enumerate(ordered_candidates):
         if budget.expired:
             break
+        telemetry.iteration(
+            "functional_analysis", candidate_index, node=node
+        )
         # Geometric budget slicing: the best-ranked candidate may use up
         # to half the remaining budget, the next half of what is left,
         # and so on — density ranking puts the true stripper first, so
@@ -200,6 +212,12 @@ def fall_attack(
                 confirmed.append(cube)
                 break
     report.stage_seconds["functional_analysis"] = stage.elapsed
+    telemetry.stage_done(
+        "functional_analysis",
+        stage.elapsed,
+        analyses=report.analyses_attempted,
+        confirmed=len(confirmed),
+    )
     report.scan_complete = not budget.expired
 
     # Deduplicate cubes and derive keys through the comparator pairing.
@@ -218,6 +236,7 @@ def fall_attack(
                 keys.append(key)
     report.candidate_keys = keys
     report.stage_seconds["key_derivation"] = stage.elapsed
+    telemetry.stage_done("key_derivation", stage.elapsed, keys=len(keys))
 
     if not keys:
         if budget.expired:
@@ -237,7 +256,10 @@ def fall_attack(
             return result(AttackStatus.TIMEOUT)
         return result(AttackStatus.MULTIPLE_CANDIDATES)
     report.used_key_confirmation = True
-    confirmation = key_confirmation(locked, oracle, keys, budget=budget)
+    with telemetry.stage("key_confirmation", shortlist=len(keys)):
+        confirmation = key_confirmation(
+            locked, oracle, keys, budget=budget, telemetry=telemetry
+        )
     if confirmation.status is AttackStatus.SUCCESS:
         return result(AttackStatus.SUCCESS, key=confirmation.key)
     if confirmation.status is AttackStatus.TIMEOUT:

@@ -55,6 +55,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.attacks.base import TelemetryRecorder, telemetry_or_null
 from repro.attacks.oracle import IOOracle
 from repro.attacks.results import AttackResult, AttackStatus
 from repro.circuit.circuit import Circuit
@@ -112,6 +113,7 @@ def key_confirmation(
     max_iterations: int | None = None,
     probe_rounds: int = 4,
     certify_conflicts: int = _CERTIFY_CONFLICTS,
+    telemetry: TelemetryRecorder | None = None,
 ) -> AttackResult:
     """Run Algorithm 4 (with probe mining and two-tier termination).
 
@@ -127,6 +129,7 @@ def key_confirmation(
     TIMEOUT.
     """
     stopwatch = Stopwatch()
+    telemetry = telemetry_or_null(telemetry)
     key_names = locked.key_inputs
     input_names = locked.circuit_inputs
     output_names = locked.outputs
@@ -219,12 +222,16 @@ def key_confirmation(
     # the observations, so all probes are collected first and replayed
     # against the oracle as one batched wide simulation.
     if has_phi and probe_rounds > 0:
-        probes = list(
-            _mine_probes(locked, candidates, key_names, probe_rounds, budget)
-        )
-        for pattern, observed in zip(probes, oracle.query_batch(probes)):
-            absorb_observation(pattern, observed)
-            probes_used += 1
+        with telemetry.stage("probe_mining"):
+            probes = list(
+                _mine_probes(
+                    locked, candidates, key_names, probe_rounds, budget
+                )
+            )
+            for pattern, observed in zip(probes, oracle.query_batch(probes)):
+                absorb_observation(pattern, observed)
+                probes_used += 1
+            telemetry.count("probes", probes_used)
 
     iteration = 0
     certification_dis = 0
@@ -262,6 +269,11 @@ def key_confirmation(
                     for name, var in x_vars.items()
                 }
                 absorb_observation(distinguishing, oracle.query(distinguishing))
+                telemetry.iteration(
+                    "tier1",
+                    iteration,
+                    oracle_queries=oracle.query_count - queries_before,
+                )
                 continue
             # UNSAT: no φ rival distinguishes itself from the candidate.
 
@@ -293,6 +305,11 @@ def key_confirmation(
             name: int(q_solver.model_value(var)) for name, var in x_vars.items()
         }
         absorb_observation(distinguishing, oracle.query(distinguishing))
+        telemetry.iteration(
+            "tier2",
+            iteration,
+            oracle_queries=oracle.query_count - queries_before,
+        )
         if has_phi:
             certification_dis += 1
             if certification_dis >= _CERTIFY_MAX_DIS:

@@ -41,6 +41,11 @@ class IOOracle:
         self.query_count = 0
 
     @property
+    def circuit(self) -> Circuit:
+        """The activated netlist (for process shipping / rebuilding)."""
+        return self._circuit
+
+    @property
     def input_names(self) -> tuple[str, ...]:
         return self._circuit.circuit_inputs
 

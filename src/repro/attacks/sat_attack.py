@@ -17,6 +17,7 @@ Implementation notes:
 
 from __future__ import annotations
 
+from repro.attacks.base import TelemetryRecorder, telemetry_or_null
 from repro.attacks.oracle import IOOracle
 from repro.attacks.results import AttackResult, AttackStatus
 from repro.circuit.circuit import Circuit
@@ -32,9 +33,11 @@ def sat_attack(
     oracle: IOOracle,
     budget: Budget | None = None,
     max_iterations: int | None = None,
+    telemetry: TelemetryRecorder | None = None,
 ) -> AttackResult:
     """Run the SAT attack on a locked netlist with oracle access."""
     stopwatch = Stopwatch()
+    telemetry = telemetry_or_null(telemetry)
     key_names = locked.key_inputs
     input_names = locked.circuit_inputs
     output_names = locked.outputs
@@ -44,37 +47,38 @@ def sat_attack(
         raise AttackError("oracle inputs do not match the locked netlist")
     queries_before = oracle.query_count
 
-    # Main solver: double instantiation + output miter.
-    cnf = Cnf()
-    x_vars = {name: cnf.new_var() for name in input_names}
-    k1_vars = {name: cnf.new_var() for name in key_names}
-    k2_vars = {name: cnf.new_var() for name in key_names}
-    enc1 = encode_circuit(locked, cnf, shared_vars={**x_vars, **k1_vars})
-    enc2 = encode_circuit(locked, cnf, shared_vars={**x_vars, **k2_vars})
-    miter_bits = []
-    for out in output_names:
-        bit = cnf.new_var()
-        a, b = enc1.lit(out), enc2.lit(out)
-        cnf.add_clause([-bit, a, b])
-        cnf.add_clause([-bit, -a, -b])
-        cnf.add_clause([bit, -a, b])
-        cnf.add_clause([bit, a, -b])
-        miter_bits.append(bit)
-    cnf.add_clause(miter_bits)
+    with telemetry.stage("encode"):
+        # Main solver: double instantiation + output miter.
+        cnf = Cnf()
+        x_vars = {name: cnf.new_var() for name in input_names}
+        k1_vars = {name: cnf.new_var() for name in key_names}
+        k2_vars = {name: cnf.new_var() for name in key_names}
+        enc1 = encode_circuit(locked, cnf, shared_vars={**x_vars, **k1_vars})
+        enc2 = encode_circuit(locked, cnf, shared_vars={**x_vars, **k2_vars})
+        miter_bits = []
+        for out in output_names:
+            bit = cnf.new_var()
+            a, b = enc1.lit(out), enc2.lit(out)
+            cnf.add_clause([-bit, a, b])
+            cnf.add_clause([-bit, -a, -b])
+            cnf.add_clause([bit, -a, b])
+            cnf.add_clause([bit, a, -b])
+            miter_bits.append(bit)
+        cnf.add_clause(miter_bits)
 
-    # Random polarity decorrelates successive distinguishing inputs
-    # (with pure phase saving the solver revisits the same corner of the
-    # input space and progress stalls).
-    solver = Solver(random_phase=0.2)
-    solver.add_cnf(cnf)
-    clause_watermark = len(cnf.clauses)
+        # Random polarity decorrelates successive distinguishing inputs
+        # (with pure phase saving the solver revisits the same corner of
+        # the input space and progress stalls).
+        solver = Solver(random_phase=0.2)
+        solver.add_cnf(cnf)
+        clause_watermark = len(cnf.clauses)
 
-    # Key solver: accumulates C(Xd, K, Yd); its model is the final key.
-    key_cnf = Cnf()
-    key_vars = {name: key_cnf.new_var() for name in key_names}
-    key_solver = Solver()
-    key_solver.add_cnf(key_cnf)
-    key_watermark = 0
+        # Key solver: accumulates C(Xd, K, Yd); its model is the final key.
+        key_cnf = Cnf()
+        key_vars = {name: key_cnf.new_var() for name in key_names}
+        key_solver = Solver()
+        key_solver.add_cnf(key_cnf)
+        key_watermark = 0
 
     def result(status: AttackStatus, key=None, iterations=0) -> AttackResult:
         return AttackResult(
@@ -85,7 +89,10 @@ def sat_attack(
             elapsed_seconds=stopwatch.elapsed,
             oracle_queries=oracle.query_count - queries_before,
             iterations=iterations,
-            details={"solver": solver.stats.as_dict()},
+            details={
+                "solver": solver.stats.as_dict(),
+                "key_solver": key_solver.stats.as_dict(),
+            },
         )
 
     iteration = 0
@@ -104,6 +111,12 @@ def sat_attack(
             name: int(solver.model_value(var)) for name, var in x_vars.items()
         }
         observed = oracle.query(distinguishing)
+        telemetry.iteration(
+            "cegis",
+            iteration,
+            oracle_queries=oracle.query_count - queries_before,
+            conflicts=solver.stats.conflicts,
+        )
         # Constrain both key instances in the main solver.
         for kvars in (k1_vars, k2_vars):
             enc = encode_under_assignment(
@@ -124,7 +137,8 @@ def sat_attack(
             key_solver.add_clause(clause)
         key_watermark = len(key_cnf.clauses)
 
-    final = key_solver.solve(budget=budget)
+    with telemetry.stage("key_extraction"):
+        final = key_solver.solve(budget=budget)
     if final is SolveStatus.UNKNOWN:
         return result(AttackStatus.TIMEOUT, iterations=iteration)
     if final is SolveStatus.UNSAT:

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.attacks.base import TelemetryRecorder, telemetry_or_null
 from repro.attacks.results import AttackResult, AttackStatus
 from repro.circuit.analysis import support_table
 from repro.circuit.circuit import Circuit
@@ -86,6 +87,7 @@ def sps_attack(
     seed: RngLike = 0,
     skew_threshold: float = _SKEW_THRESHOLD,
     jobs: int | str | None = None,
+    telemetry: TelemetryRecorder | None = None,
 ) -> AttackResult:
     """Run the SPS removal attack.
 
@@ -94,17 +96,23 @@ def sps_attack(
     which is the defining property of removal-style attacks.
     """
     stopwatch = Stopwatch()
+    telemetry = telemetry_or_null(telemetry)
     if not locked.key_inputs:
         raise AttackError("circuit has no key inputs to attack")
-    probabilities = estimate_signal_probabilities(
-        locked, patterns, seed, jobs=jobs
-    )
+    with telemetry.stage("probability_estimation", patterns=patterns):
+        probabilities = estimate_signal_probabilities(
+            locked, patterns, seed, jobs=jobs
+        )
 
-    reconstructed, info = _try_xor_stage(locked, probabilities, skew_threshold)
-    if reconstructed is None:
-        reconstructed, info = _try_constant_forcing(
+    with telemetry.stage("xor_stage"):
+        reconstructed, info = _try_xor_stage(
             locked, probabilities, skew_threshold
         )
+    if reconstructed is None:
+        with telemetry.stage("constant_forcing"):
+            reconstructed, info = _try_constant_forcing(
+                locked, probabilities, skew_threshold
+            )
     if reconstructed is None:
         return AttackResult(
             attack="sps",

@@ -254,6 +254,16 @@ def _spec_and_fingerprint(circuit: Circuit) -> tuple[tuple, str]:
     return spec, fingerprint
 
 
+def circuit_fingerprint(circuit: Circuit) -> str:
+    """A stable content hash of the netlist structure.
+
+    Memoized per structural version; used by the worker compile caches
+    and by attack checkpoints to verify a resume targets the same
+    circuit the transcript was recorded against.
+    """
+    return _spec_and_fingerprint(circuit)[1]
+
+
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
@@ -334,6 +344,19 @@ def _get_pool(workers: int) -> ProcessPoolExecutor:
 def pool_is_running() -> bool:
     """Whether the persistent worker pool has been spun up."""
     return _POOL is not None
+
+
+def pool_executor(workers: int) -> ProcessPoolExecutor:
+    """The persistent executor, grown to ``workers``, for submit-style
+    consumers (the attack portfolio racer) that need futures rather than
+    the order-preserving :func:`map_in_processes`. Callers must check
+    :func:`pool_allowed` themselves."""
+    return _get_pool(workers)
+
+
+def pool_allowed() -> bool:
+    """Whether this process may dispatch work to the pool."""
+    return not _pool_disallowed()
 
 
 def shutdown_pool() -> None:

@@ -4,8 +4,9 @@ Three commands (also exposed as console scripts via pyproject):
 
 - ``fall-lock``: lock a ``.bench`` netlist with TTLock/SFLL-HDh (or a
   baseline scheme) and write the locked ``.bench`` plus the key.
-- ``fall-attack``: run the FALL attack (or the SAT attack) on a locked
-  ``.bench`` netlist, optionally with an oracle netlist.
+- ``fall-attack``: run any registered attack family (``--attack``), or
+  race several (``--portfolio``), on a locked ``.bench`` netlist,
+  optionally with an oracle netlist and JSON checkpointing.
 - ``fall-experiments``: regenerate the paper's tables and figures.
 """
 
@@ -16,9 +17,10 @@ import os
 import sys
 from contextlib import contextmanager
 
-from repro.attacks.fall.pipeline import fall_attack
+from repro.attacks.base import AttackConfig
+from repro.attacks.engine import run_attack, run_portfolio
 from repro.attacks.oracle import IOOracle
-from repro.attacks.sat_attack import sat_attack
+from repro.attacks.registry import all_attacks, attack_names, get_attack
 from repro.circuit.bench_io import read_bench, save_bench
 from repro.circuit.sharding import ENV_JOBS, parse_jobs
 from repro.errors import CircuitError
@@ -29,7 +31,6 @@ from repro.locking import (
     lock_sfll_hd,
     lock_ttlock,
 )
-from repro.utils.timer import Budget
 
 
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
@@ -136,13 +137,63 @@ def main_lock(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _parse_portfolio(parser, value: str) -> list[str]:
+    """Resolve a ``--portfolio`` spec into registered attack names."""
+    if value == "auto":
+        # The oracle-guided racing set: the families whose conclusive
+        # results are comparable key recoveries.
+        return ["fall", "sat", "appsat", "double-dip"]
+    names = [name.strip() for name in value.split(",") if name.strip()]
+    if not names:
+        parser.error("--portfolio needs at least one attack name")
+    seen: set[str] = set()
+    for name in names:
+        if name not in attack_names():
+            parser.error(
+                f"unknown attack {name!r} in --portfolio; registered "
+                f"attacks: {', '.join(attack_names())}"
+            )
+        if name in seen:
+            parser.error(f"attack {name!r} listed twice in --portfolio")
+        seen.add(name)
+    return names
+
+
 def main_attack(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="fall-attack", description="Attack a locked .bench netlist."
+        prog="fall-attack",
+        description="Attack a locked .bench netlist with any registered "
+                    "attack family, or race several as a portfolio.",
     )
-    parser.add_argument("netlist", help="locked .bench file (key inputs marked)")
     parser.add_argument(
-        "--attack", choices=("fall", "sat"), default="fall"
+        "netlist",
+        nargs="?",
+        default=None,
+        help="locked .bench file (key inputs marked); required unless "
+             "--list-attacks is given",
+    )
+    parser.add_argument(
+        "--attack",
+        default="fall",
+        metavar="NAME",
+        help="registered attack family to run "
+             f"(one of: {', '.join(attack_names())}; default: fall)",
+    )
+    parser.add_argument(
+        "--portfolio",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="NAMES",
+        help="race a comma-separated list of registered attacks instead "
+             "of running one (--portfolio alone races the oracle-guided "
+             "set fall,sat,appsat,double-dip); first conclusive result "
+             "wins, the rest are cooperatively cancelled",
+    )
+    parser.add_argument(
+        "--list-attacks",
+        action="store_true",
+        help="list the registered attack families and exit",
     )
     parser.add_argument("--h", type=int, default=0, help="SFLL Hamming distance")
     parser.add_argument(
@@ -151,21 +202,69 @@ def main_attack(argv: list[str] | None = None) -> int:
         help="unlocked .bench file to answer I/O queries",
     )
     parser.add_argument("--time-limit", type=float, default=1000.0)
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="deterministic seed threaded through every attack RNG",
+    )
+    parser.add_argument(
+        "--max-iterations",
+        type=int,
+        default=None,
+        help="iteration cap for the oracle-guided CEGIS loops",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="JSON checkpoint file: the oracle transcript streams here "
+             "and an interrupted run resumes bit-exactly (iterative "
+             "oracle-guided attacks only; not valid with --portfolio)",
+    )
     _add_jobs_argument(parser)
     args = parser.parse_args(argv)
+
+    if args.list_attacks:
+        for attack in all_attacks():
+            oracle_note = " (needs --oracle)" if attack.requires_oracle else ""
+            print(f"{attack.name:18s} {attack.description}{oracle_note}")
+        return 0
+    if args.netlist is None:
+        parser.error("the following arguments are required: netlist")
+    if args.attack not in attack_names():
+        parser.error(
+            f"unknown attack {args.attack!r}; registered attacks: "
+            f"{', '.join(attack_names())}"
+        )
+    if args.portfolio is not None and args.checkpoint is not None:
+        parser.error("--checkpoint cannot be combined with --portfolio")
 
     with _jobs_scope(parser, args):
         locked = read_bench(args.netlist)
         oracle = IOOracle(read_bench(args.oracle)) if args.oracle else None
-        budget = Budget(args.time_limit)
-        if args.attack == "sat":
-            if oracle is None:
-                parser.error("the SAT attack requires --oracle")
-            result = sat_attack(locked, oracle, budget=budget)
+        config = AttackConfig(
+            h=args.h,
+            time_limit=args.time_limit,
+            max_iterations=args.max_iterations,
+            seed=args.seed,
+            checkpoint_path=args.checkpoint,
+        )
+        if args.portfolio is not None:
+            names = _parse_portfolio(parser, args.portfolio)
+            result = run_portfolio(names, locked, oracle, config)
+            portfolio = result.details["portfolio"]
+            print(f"portfolio winner: {portfolio['winner']}")
+            for name in names:
+                entry = portfolio["attacks"][name]
+                status = entry["status"]
+                if entry.get("cancelled"):
+                    status += " (cancelled)"
+                print(f"  {name:14s} {status}")
         else:
-            result = fall_attack(
-                locked, h=args.h, oracle=oracle, budget=budget
-            )
+            if oracle is None and get_attack(args.attack).requires_oracle:
+                parser.error(f"the {args.attack} attack requires --oracle")
+            result = run_attack(args.attack, locked, oracle, config)
     print(result.summary())
     if result.key is not None:
         print("key:", "".join(str(b) for b in result.key))
@@ -174,7 +273,7 @@ def main_attack(argv: list[str] | None = None) -> int:
         for candidate in result.candidates:
             print("candidate:", "".join(str(b) for b in candidate))
         return 0
-    return 1
+    return 0 if result.succeeded else 1
 
 
 def main_experiments(argv: list[str] | None = None) -> int:

@@ -17,7 +17,12 @@ from repro.experiments.profiles import (
     active_profiles,
 )
 from repro.experiments.suite import LockedBenchmark, build_benchmark, build_suite
-from repro.experiments.runner import run_fall, run_sat_attack, run_key_confirmation
+from repro.experiments.runner import (
+    RunRecord,
+    SuiteTask,
+    run_benchmark_attack,
+    run_suite,
+)
 
 __all__ = [
     "CircuitProfile",
@@ -26,7 +31,8 @@ __all__ = [
     "LockedBenchmark",
     "build_benchmark",
     "build_suite",
-    "run_fall",
-    "run_sat_attack",
-    "run_key_confirmation",
+    "RunRecord",
+    "SuiteTask",
+    "run_benchmark_attack",
+    "run_suite",
 ]

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 from repro.experiments.profiles import active_profiles, time_limit_seconds
 from repro.experiments.report import render_cactus, render_table, write_csv
-from repro.experiments.runner import RunRecord, run_fall, run_sat_attack
+from repro.experiments.runner import RunRecord, run_benchmark_attack
 from repro.experiments.suite import build_benchmark
 
 PANELS: dict[str, tuple[str, ...]] = {
@@ -33,11 +33,12 @@ PANELS: dict[str, tuple[str, ...]] = {
     "m/3": ("SlidingWindow", "SAT-Attack"),
 }
 
-# Panel line -> fall_attack(analyses=...) restriction.
-_ANALYSIS_OF = {
-    "AnalyzeUnateness": ("unateness",),
-    "SlidingWindow": ("sliding_window",),
-    "Distance2H": ("distance2h",),
+# Panel line -> (registry attack, per-family options).
+_ATTACK_OF: dict[str, tuple[str, dict]] = {
+    "SAT-Attack": ("sat", {}),
+    "AnalyzeUnateness": ("fall", {"analyses": ("unateness",)}),
+    "SlidingWindow": ("fall", {"analyses": ("sliding_window",)}),
+    "Distance2H": ("fall", {"analyses": ("distance2h",)}),
 }
 
 
@@ -58,15 +59,15 @@ def run_panel(label: str, time_limit: float | None = None) -> PanelResult:
     for profile in profiles:
         benchmark = build_benchmark(profile, label)
         for attack_name in PANELS[label]:
-            if attack_name == "SAT-Attack":
-                record = run_sat_attack(benchmark, limit)
-            else:
-                record = run_fall(
-                    benchmark,
-                    limit,
-                    analyses=_ANALYSIS_OF[attack_name],
-                    attack_label=attack_name,
-                )
+            attack, options = _ATTACK_OF[attack_name]
+            record = run_benchmark_attack(
+                benchmark,
+                attack,
+                limit,
+                with_oracle=None if attack == "sat" else True,
+                options=options,
+                attack_label=attack_name,
+            )
             records.append(record)
             if record.solved:
                 series[attack_name].append(record.elapsed_seconds)

@@ -20,7 +20,7 @@ from statistics import mean, pstdev
 from repro.attacks.fall.pipeline import fall_attack
 from repro.experiments.profiles import active_profiles, time_limit_seconds
 from repro.experiments.report import render_table, write_csv
-from repro.experiments.runner import run_key_confirmation, run_sat_attack
+from repro.experiments.runner import run_benchmark_attack
 from repro.experiments.suite import build_benchmark
 from repro.utils.bitops import complement_bits
 from repro.utils.timer import Budget
@@ -87,10 +87,15 @@ def run_fig6(time_limit: float | None = None) -> list[Fig6Row]:
             benchmark = build_benchmark(profile, label)
             variants += 1
             shortlist = shortlist_for(benchmark, limit)
-            record = run_key_confirmation(benchmark, shortlist, limit)
+            record = run_benchmark_attack(
+                benchmark,
+                "key-confirmation",
+                limit,
+                candidates=tuple(tuple(key) for key in shortlist),
+            )
             confirmation_times.append(record.elapsed_seconds)
             confirmation_success += record.solved
-            sat_record = run_sat_attack(benchmark, limit)
+            sat_record = run_benchmark_attack(benchmark, "sat", limit)
             sat_times.append(sat_record.elapsed_seconds)
             sat_success += sat_record.solved
         rows.append(

@@ -1,31 +1,44 @@
-"""Timed attack execution + success classification for the harness.
+"""Registry-driven attack execution + success classification.
 
-Besides the single-run entry points (:func:`run_fall`,
-:func:`run_sat_attack`, :func:`run_key_confirmation`), the module
-provides a process-parallel suite driver: :func:`run_suite` maps
-:class:`SuiteTask` cells onto the persistent worker pool shared with the
-sharded simulation layer (:mod:`repro.circuit.sharding`). Every task
-carries its own deterministic seeds (the benchmark is rebuilt inside the
-worker from the profile seed + lock seed), and records come back in task
-order, so a parallel sweep produces the same summary statistics and
-records as a sequential one — identical modulo the wall-clock timing
-fields, which vary run to run regardless of the worker count.
+One generic entry point — :func:`run_benchmark_attack` — runs *any*
+registered attack family (see :mod:`repro.attacks.registry`) on a
+:class:`~repro.experiments.suite.LockedBenchmark` through the unified
+engine and classifies the outcome with the defender-side ground truth:
+
+- a recovered key counts only if it provably unlocks the benchmark;
+- a keyless SUCCESS (removal attacks) counts only if the reconstructed
+  netlist is equivalent to the original;
+- a multi-key shortlist counts when it contains a correct key (the
+  paper counts those as defeats only without an oracle, §VI-B).
+
+The module also provides the process-parallel suite driver:
+:func:`run_suite` maps :class:`SuiteTask` cells onto the persistent
+worker pool shared with the sharded simulation layer
+(:mod:`repro.circuit.sharding`). Every task carries its own
+deterministic seeds (the benchmark is rebuilt inside the worker from
+the profile seed + lock seed) and names its attack by registry name, so
+a parallel sweep produces the same records as a sequential one —
+identical modulo wall-clock timing fields.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any
 
-from repro.attacks.fall.pipeline import fall_attack
-from repro.attacks.key_confirmation import key_confirmation
+from repro.attacks.base import AttackConfig
+from repro.attacks.engine import run_attack
 from repro.attacks.oracle import IOOracle
-from repro.attacks.results import AttackResult, AttackStatus
-from repro.attacks.sat_attack import sat_attack
+from repro.attacks.registry import get_attack
+from repro.attacks.results import (
+    AttackResult,
+    AttackStatus,
+    circuit_from_details,
+)
 from repro.circuit.equivalence import check_equivalence
 from repro.circuit.sharding import map_in_processes
 from repro.experiments.profiles import CircuitProfile
 from repro.experiments.suite import LockedBenchmark, build_benchmark
-from repro.utils.timer import Budget
 
 
 @dataclass
@@ -63,107 +76,141 @@ def _verify_key(benchmark: LockedBenchmark, key: tuple[int, ...] | None) -> bool
     return bool(result.proved)
 
 
-def _record(
-    benchmark: LockedBenchmark, result: AttackResult, solved: bool
-) -> RunRecord:
+def _verify_reconstruction(benchmark: LockedBenchmark, details: dict) -> bool:
+    """Removal-attack success check: reconstructed netlist ≡ original."""
+    payload = details.get("reconstructed")
+    if payload is None:
+        return False
+    rebuilt = circuit_from_details(payload)
+    return bool(check_equivalence(benchmark.original, rebuilt).proved)
+
+
+def _classify(benchmark: LockedBenchmark, result: AttackResult) -> tuple:
+    """(solved, correct_key) under the uniform success criteria."""
     correct = _verify_key(benchmark, result.key) if result.key else False
-    report = result.details.get("report")
-    shortlist = len(result.candidates)
-    details = dict(result.details)
-    if report is not None:
-        details = {
-            "oracle_less": report.oracle_less,
-            "candidates": len(report.candidate_nodes),
-            "analyses": report.analyses_attempted,
-            "candidate_keys": tuple(report.candidate_keys),
-        }
-    return RunRecord(
-        benchmark=benchmark.name,
-        attack=result.attack,
-        status=result.status,
-        solved=solved and (correct or result.key is None),
-        correct_key=correct,
-        elapsed_seconds=result.elapsed_seconds,
-        oracle_queries=result.oracle_queries,
-        shortlist_size=shortlist,
-        details=details,
-    )
-
-
-def run_fall(
-    benchmark: LockedBenchmark,
-    time_limit: float,
-    with_oracle: bool = True,
-    analyses: tuple[str, ...] | None = None,
-    attack_label: str | None = None,
-) -> RunRecord:
-    """FALL on one benchmark; success = correct key recovered, or a
-    shortlist containing the correct key when no oracle is available
-    (the paper counts multi-key shortlists as defeats, §VI-B)."""
-    oracle = IOOracle(benchmark.original) if with_oracle else None
-    result = fall_attack(
-        benchmark.locked.circuit,
-        h=benchmark.h,
-        oracle=oracle,
-        budget=Budget(time_limit),
-        analyses=analyses,
-    )
-    if attack_label:
-        result.attack = attack_label
     if result.status is AttackStatus.SUCCESS:
-        solved = True
-    elif result.status is AttackStatus.MULTIPLE_CANDIDATES:
+        if result.key is not None:
+            return correct, correct
+        if "reconstructed" in result.details:
+            return _verify_reconstruction(benchmark, result.details), False
+        # Keyless, reconstruction-less successes (the IND-CPA game)
+        # stand on their own verdict.
+        return True, False
+    if result.status is AttackStatus.MULTIPLE_CANDIDATES:
         solved = any(
             _verify_key(benchmark, candidate) for candidate in result.candidates
         )
-    else:
-        solved = False
-    record = _record(benchmark, result, solved)
-    return record
+        return solved, correct
+    return False, correct
 
 
-def run_sat_attack(
+# Detail keys whose values are wall-clock-dependent; stripped from the
+# record so parallel and sequential sweeps compare equal.
+_VOLATILE_DETAILS = ("telemetry", "checkpoint", "portfolio")
+
+
+def _stable_details(result: AttackResult) -> dict:
+    report = result.details.get("report")
+    if isinstance(report, dict):
+        # FALL: keep the stable stage summary the tables consume.
+        return {
+            "oracle_less": report.get("oracle_less", False),
+            "candidates": len(report.get("candidate_nodes", ())),
+            "analyses": report.get("analyses_attempted", 0),
+            "candidate_keys": tuple(
+                tuple(key) for key in report.get("candidate_keys", ())
+            ),
+        }
+    details = {
+        key: value
+        for key, value in result.details.items()
+        if key not in _VOLATILE_DETAILS
+    }
+    return details
+
+
+def run_benchmark_attack(
     benchmark: LockedBenchmark,
+    attack: str,
     time_limit: float,
+    with_oracle: bool | None = None,
+    seed: int = 0,
     max_iterations: int | None = None,
+    candidates: tuple[tuple[int, ...], ...] | None = None,
+    options: dict[str, Any] | None = None,
+    attack_label: str | None = None,
 ) -> RunRecord:
-    oracle = IOOracle(benchmark.original)
-    result = sat_attack(
-        benchmark.locked.circuit,
-        oracle,
-        budget=Budget(time_limit),
-        max_iterations=max_iterations,
+    """Run one registered attack on one benchmark and classify it.
+
+    ``with_oracle=None`` grants the oracle exactly when the family
+    requires one; ``True``/``False`` force it (FALL runs oracle-less for
+    the §VI-B headline, with an oracle for shortlist disambiguation).
+    """
+    family = get_attack(attack)
+    grant_oracle = (
+        family.requires_oracle if with_oracle is None else with_oracle
     )
-    solved = result.status is AttackStatus.SUCCESS
-    return _record(benchmark, result, solved)
+    oracle = IOOracle(benchmark.original) if grant_oracle else None
+    config = AttackConfig(
+        h=benchmark.h,
+        time_limit=time_limit,
+        max_iterations=max_iterations,
+        seed=seed,
+        candidates=candidates,
+        options=options or {},
+    )
+    result = run_attack(attack, benchmark.locked.circuit, oracle, config)
+    solved, correct = _classify(benchmark, result)
+    return RunRecord(
+        benchmark=benchmark.name,
+        attack=attack_label or result.attack,
+        status=result.status,
+        solved=solved,
+        correct_key=correct,
+        elapsed_seconds=result.elapsed_seconds,
+        oracle_queries=result.oracle_queries,
+        shortlist_size=len(result.candidates),
+        details=_stable_details(result),
+    )
 
 
 @dataclass(frozen=True)
 class SuiteTask:
-    """One picklable (circuit, defense) cell of an evaluation sweep.
+    """One picklable (circuit, defense, attack) cell of an evaluation sweep.
 
     The worker rebuilds the benchmark from the profile's deterministic
     generation seed plus ``lock_seed``, so the task ships a few hundred
     bytes instead of a netlist, and the run is reproducible regardless
-    of which worker executes it.
+    of which worker executes it. ``attack`` names any registry entry;
+    the legacy hardcoded per-family wrappers are gone.
     """
 
     profile: CircuitProfile
     h_label: str
     time_limit: float
-    with_oracle: bool = False
+    attack: str = "fall"
+    with_oracle: bool | None = False
     lock_seed: int = 0
+    seed: int = 0
     analyses: tuple[str, ...] | None = None
+    attack_label: str | None = None
+    options: tuple[tuple[str, Any], ...] = field(default=())
 
 
 def run_suite_task(task: SuiteTask) -> RunRecord:
-    """Build one benchmark cell and run FALL on it (worker entry)."""
+    """Build one benchmark cell and run its attack (worker entry)."""
     benchmark = build_benchmark(task.profile, task.h_label, task.lock_seed)
-    return run_fall(
+    options = dict(task.options)
+    if task.analyses is not None:
+        options["analyses"] = task.analyses
+    return run_benchmark_attack(
         benchmark,
+        task.attack,
         task.time_limit,
         with_oracle=task.with_oracle,
-        analyses=task.analyses,
+        seed=task.seed,
+        options=options,
+        attack_label=task.attack_label,
     )
 
 
@@ -178,19 +225,3 @@ def run_suite(
     summaries merged from them are independent of the worker count.
     """
     return map_in_processes(run_suite_task, tasks, jobs=jobs)
-
-
-def run_key_confirmation(
-    benchmark: LockedBenchmark,
-    candidates: list[tuple[int, ...]],
-    time_limit: float,
-) -> RunRecord:
-    oracle = IOOracle(benchmark.original)
-    result = key_confirmation(
-        benchmark.locked.circuit,
-        oracle,
-        candidates,
-        budget=Budget(time_limit),
-    )
-    solved = result.status is AttackStatus.SUCCESS
-    return _record(benchmark, result, solved)

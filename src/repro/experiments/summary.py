@@ -48,22 +48,28 @@ class SummaryStats:
 
 
 def run_summary(
-    time_limit: float | None = None, jobs: int | str | None = None
+    time_limit: float | None = None,
+    jobs: int | str | None = None,
+    attack: str = "fall",
 ) -> SummaryStats:
     """Sweep the grid and fold the records into headline statistics.
 
-    ``jobs`` spreads the (circuit × h) cells across worker processes
-    (explicit argument, then ``REPRO_SIM_JOBS``, then auto-detection);
-    every cell is seeded independently and the records are merged in
-    grid order, so the summary is identical for every worker count —
-    up to wall-clock effects: timing fields always vary, and a cell
-    running close to its time limit can cross it under heavy
+    ``attack`` names any registry entry (the registry-driven suite has
+    no hardcoded attack wrappers), defaulting to the paper's oracle-less
+    FALL sweep. ``jobs`` spreads the (circuit × h) cells across worker
+    processes (explicit argument, then ``REPRO_SIM_JOBS``, then
+    auto-detection); every cell is seeded independently and the records
+    are merged in grid order, so the summary is identical for every
+    worker count — up to wall-clock effects: timing fields always vary,
+    and a cell running close to its time limit can cross it under heavy
     oversubscription. Keep ``jobs`` at or below the core count when
     timeout classifications matter.
     """
     limit = time_limit if time_limit is not None else time_limit_seconds()
     tasks = [
-        SuiteTask(profile=profile, h_label=label, time_limit=limit)
+        SuiteTask(
+            profile=profile, h_label=label, time_limit=limit, attack=attack
+        )
         for profile in active_profiles()
         for label in H_LABELS
     ]

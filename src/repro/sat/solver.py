@@ -138,7 +138,17 @@ class Solver:
 
         self._learnts: list[list[int]] = []
         self._lbd: dict[int, int] = {}
+        # Lazily deleted learnt clauses, marked by id(). The parallel
+        # strong-reference list pins those ids: without it CPython
+        # recycles the freed list's address, a *new* learnt clause can
+        # land on a stale tombstone and be silently skipped by
+        # propagation — sound (learnt clauses are redundant) but
+        # allocation-dependent, i.e. nondeterministic run to run, which
+        # breaks seeded-attack reproducibility, checkpoint resume and
+        # portfolio winner determinism. Tombstones are physically swept
+        # from the watch lists at the next database reduction.
         self._removed: set[int] = set()
+        self._removed_refs: list[list[int]] = []
         self._max_learnts = 4000.0
 
         self._ok = True
@@ -408,8 +418,23 @@ class Solver:
                 return var
         return 0
 
+    def _purge_removed(self) -> None:
+        """Physically drop tombstoned clauses from every watch list.
+
+        Afterwards no watch list references a removed clause, so the
+        tombstone set (and the strong references pinning its ids) can be
+        cleared and those ids may recycle safely.
+        """
+        removed = self._removed
+        for watchlist in self._watches:
+            watchlist[:] = [c for c in watchlist if id(c) not in removed]
+        removed.clear()
+        self._removed_refs.clear()
+
     def _reduce_db(self) -> None:
         """Drop the worst half of learned clauses (by LBD, then length)."""
+        if self._removed:
+            self._purge_removed()
         learnts = self._learnts
         reason = self._reason
         keep_always = []
@@ -427,6 +452,8 @@ class Solver:
         for clause in candidates[cutoff:]:
             self._removed.add(id(clause))
             self._lbd.pop(id(clause), None)
+        # Pin the removed clauses' ids until the next purge.
+        self._removed_refs.extend(candidates[cutoff:])
         self._learnts = keep_always + kept
 
     # ------------------------------------------------------------------

@@ -2,11 +2,14 @@
 
 A fixed grid of (circuit, defense) cells, each locked with deterministic
 seeds, attacked with the full FALL pipeline plus the SAT-attack and
-AppSAT baselines. Every cell pins the attack *outcome* — status,
-recovered-key correctness, and an oracle query-count budget — so a
-regression anywhere in the stack (locking, simulation, sharding, SAT
-solving, the attack pipelines) shows up as a changed outcome rather
-than a silent behavior drift.
+AppSAT baselines — all driven through the unified engine
+(:func:`repro.attacks.engine.run_attack`), so the corpus also pins the
+registry adapters and the engine's lifecycle normalization. Every cell
+pins the attack *outcome* — status, recovered-key correctness, and an
+oracle query-count budget — so a regression anywhere in the stack
+(locking, simulation, sharding, SAT solving, the attack pipelines, the
+engine) shows up as a changed outcome rather than a silent behavior
+drift.
 
 The budgets encode the paper's qualitative story too: FALL defeats
 TTLock/SFLL-HD oracle-less (0 queries), the SAT attack needs ~2^k
@@ -21,11 +24,10 @@ from functools import lru_cache
 
 import pytest
 
-from repro.attacks.appsat import appsat_attack
-from repro.attacks.fall.pipeline import fall_attack
+from repro.attacks.base import AttackConfig
+from repro.attacks.engine import run_attack
 from repro.attacks.oracle import IOOracle
 from repro.attacks.results import AttackStatus
-from repro.attacks.sat_attack import sat_attack
 from repro.circuit.compiled import compile_circuit
 from repro.circuit.equivalence import check_equivalence
 from repro.circuit.library import paper_example_circuit
@@ -38,7 +40,6 @@ from repro.locking import (
     lock_sfll_hd,
     lock_ttlock,
 )
-from repro.utils.timer import Budget
 
 _TIME_LIMIT = 60.0
 
@@ -145,23 +146,36 @@ def _key_error_fraction(cell: CorpusCell, key) -> float:
     return wrong.bit_count() / width
 
 
+def _engine_run(cell: CorpusCell, attack: str, **config_kwargs):
+    """One corpus cell through the unified engine, telemetry checked."""
+    oracle = IOOracle(_original(cell.circuit))
+    result = run_attack(
+        attack,
+        _locked(cell.circuit, cell.scheme).circuit,
+        oracle,
+        AttackConfig(time_limit=_TIME_LIMIT, **config_kwargs),
+    )
+    # Engine invariants every corpus run re-checks: registry labelling,
+    # the uniform telemetry schema, and oracle-query accounting.
+    assert result.attack == attack, cell.label
+    telemetry = result.details["telemetry"]
+    assert telemetry["schema"] == 1, cell.label
+    assert telemetry["counters"]["oracle_queries"] == result.oracle_queries
+    assert result.oracle_queries == oracle.query_count, cell.label
+    return result
+
+
 @pytest.mark.parametrize("cell", CORPUS, ids=_CELL_IDS)
 class TestFallPipeline:
     def test_outcome_and_query_budget(self, cell):
-        oracle = IOOracle(_original(cell.circuit))
-        result = fall_attack(
-            _locked(cell.circuit, cell.scheme).circuit,
-            h=cell.h,
-            oracle=oracle,
-            budget=Budget(_TIME_LIMIT),
-        )
+        result = _engine_run(cell, "fall", h=cell.h)
         assert result.status is cell.fall_status, cell.label
         assert result.oracle_queries <= cell.fall_max_queries, cell.label
         if cell.fall_status is AttackStatus.SUCCESS:
             assert _key_unlocks_exactly(cell, result.key), cell.label
             # 0-query successes are the paper's oracle-less headline.
             if cell.fall_max_queries == 0:
-                assert result.details["report"].oracle_less, cell.label
+                assert result.details["report"]["oracle_less"], cell.label
         else:
             assert result.key is None, cell.label
 
@@ -169,12 +183,7 @@ class TestFallPipeline:
 @pytest.mark.parametrize("cell", CORPUS, ids=_CELL_IDS)
 class TestSatAttackBaseline:
     def test_exact_key_within_query_budget(self, cell):
-        oracle = IOOracle(_original(cell.circuit))
-        result = sat_attack(
-            _locked(cell.circuit, cell.scheme).circuit,
-            oracle,
-            budget=Budget(_TIME_LIMIT),
-        )
+        result = _engine_run(cell, "sat")
         assert result.status is AttackStatus.SUCCESS, cell.label
         assert _key_unlocks_exactly(cell, result.key), cell.label
         assert (
@@ -187,13 +196,7 @@ class TestSatAttackBaseline:
 @pytest.mark.parametrize("cell", CORPUS, ids=_CELL_IDS)
 class TestAppSatBaseline:
     def test_approximate_acceptance_and_error(self, cell):
-        oracle = IOOracle(_original(cell.circuit))
-        result = appsat_attack(
-            _locked(cell.circuit, cell.scheme).circuit,
-            oracle,
-            budget=Budget(_TIME_LIMIT),
-            max_iterations=200,
-        )
+        result = _engine_run(cell, "appsat", max_iterations=200)
         assert result.status is AttackStatus.SUCCESS, cell.label
         assert result.oracle_queries <= cell.appsat_max_queries, cell.label
         assert (

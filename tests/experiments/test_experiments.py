@@ -20,7 +20,7 @@ from repro.experiments.report import (
     render_table,
     write_csv,
 )
-from repro.experiments.runner import run_fall, run_key_confirmation, run_sat_attack
+from repro.experiments.runner import run_benchmark_attack
 from repro.experiments.suite import build_benchmark, build_suite
 from repro.attacks.results import AttackStatus
 
@@ -105,16 +105,22 @@ class TestRunners:
     def test_run_fall_solves_small_benchmark(self, small_env):
         profile = active_profiles()[0]
         benchmark = build_benchmark(profile, "m/8")
-        record = run_fall(benchmark, time_limit=30)
-        assert record.attack.startswith("fall")
+        record = run_benchmark_attack(
+            benchmark, "fall", time_limit=30, with_oracle=True
+        )
+        assert record.attack == "fall"
         assert record.solved
         assert record.correct_key
 
     def test_run_fall_analyses_restriction(self, small_env):
         profile = active_profiles()[0]
         benchmark = build_benchmark(profile, "m/8")
-        record = run_fall(
-            benchmark, time_limit=30, analyses=("distance2h",),
+        record = run_benchmark_attack(
+            benchmark,
+            "fall",
+            time_limit=30,
+            with_oracle=True,
+            options={"analyses": ("distance2h",)},
             attack_label="Distance2H",
         )
         assert record.attack == "Distance2H"
@@ -122,7 +128,7 @@ class TestRunners:
     def test_run_sat_attack_on_small_hd0(self, small_env):
         profile = active_profiles()[0]
         benchmark = build_benchmark(profile, "hd0")
-        record = run_sat_attack(benchmark, time_limit=30)
+        record = run_benchmark_attack(benchmark, "sat", time_limit=30)
         # With 8 keys the SAT attack can win; either way the record is
         # well-formed.
         assert record.status in (
@@ -136,11 +142,28 @@ class TestRunners:
         benchmark = build_benchmark(profile, "hd0")
         correct = benchmark.locked.reveal_correct_key()
         wrong = tuple(1 - b for b in correct)
-        record = run_key_confirmation(
-            benchmark, [wrong, correct], time_limit=30
+        record = run_benchmark_attack(
+            benchmark,
+            "key-confirmation",
+            time_limit=30,
+            candidates=(wrong, correct),
         )
         assert record.solved
         assert record.correct_key
+
+    def test_any_registered_attack_runs_through_the_suite(self, small_env):
+        from repro.attacks.registry import attack_names
+
+        profile = active_profiles()[0]
+        benchmark = build_benchmark(profile, "hd0")
+        # The suite runner accepts every registered family uniformly —
+        # no hardcoded wrappers to fall out of sync with the registry.
+        for name in attack_names():
+            if name == "key-confirmation":
+                continue  # exercised above (needs a shortlist)
+            record = run_benchmark_attack(benchmark, name, time_limit=10)
+            assert isinstance(record.status, AttackStatus), name
+            assert record.attack == name
 
 
 class TestReport:

@@ -298,3 +298,65 @@ def _solve_ph(holes: int) -> SolveStatus:
     s = Solver()
     s.add_cnf(_pigeonhole_cnf(holes))
     return s.solve()
+
+
+class TestDeterminism:
+    """Run-to-run reproducibility, including under clause-DB reduction.
+
+    Seeded attacks, checkpoint resume and portfolio winner selection
+    all assume the solver is a deterministic function of its inputs.
+    The lazy clause-deletion scheme marks removed learnt clauses by
+    ``id()``; the regression here is allocation-dependent behavior
+    (a recycled id silently tombstoning a *new* clause), which only
+    shows up once ``_reduce_db`` has fired — hence the tiny
+    ``_max_learnts`` forcing many reductions.
+    """
+
+    @staticmethod
+    def _run(seed: int) -> tuple:
+        cnf = _pigeonhole_cnf(6)  # hard enough for thousands of conflicts
+        solver = Solver(random_phase=0.2, seed=seed)
+        solver._max_learnts = 30.0  # force frequent DB reductions
+        solver.add_cnf(cnf)
+        status = solver.solve()
+        model = (
+            tuple(sorted(solver.model_dict().items()))
+            if status is SolveStatus.SAT
+            else None
+        )
+        return (
+            status,
+            model,
+            solver.stats.conflicts,
+            solver.stats.decisions,
+            solver.stats.propagations,
+            solver.stats.restarts,
+        )
+
+    def test_identical_stats_across_runs_under_db_reduction(self):
+        runs = [self._run(seed=3) for _ in range(3)]
+        assert runs[0][2] > 100, "instance too easy to exercise reduce_db"
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_incremental_resolve_deterministic(self):
+        def episode():
+            rng = random.Random(11)
+            cnf = random_cnf(rng, 40, 150)
+            solver = Solver(random_phase=0.3, seed=5)
+            solver._max_learnts = 25.0
+            solver.add_cnf(cnf)
+            trace = []
+            for round_index in range(6):
+                status = solver.solve()
+                trace.append((status, solver.stats.conflicts))
+                if status is not SolveStatus.SAT:
+                    break
+                # Block the current model to force new search next round.
+                blocking = [
+                    -var if value else var
+                    for var, value in solver.model_dict().items()
+                ]
+                solver.add_clause(blocking)
+            return tuple(trace)
+
+        assert episode() == episode()

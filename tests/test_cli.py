@@ -106,6 +106,145 @@ class TestAttackCommand:
         assert code == 0
         assert "key:" in capsys.readouterr().out
 
+    def test_every_registered_attack_is_accepted(
+        self, bench_file, tmp_path, capsys
+    ):
+        from repro.attacks.registry import attack_names
+
+        locked_path = tmp_path / "locked.bench"
+        main_lock([str(bench_file), str(locked_path), "--scheme", "ttlock"])
+        capsys.readouterr()
+        for name in attack_names():
+            if name == "key-confirmation":
+                continue  # needs a shortlist, which the CLI cannot guess
+            code = main_attack(
+                [
+                    str(locked_path),
+                    "--attack", name,
+                    "--oracle", str(bench_file),
+                    "--time-limit", "30",
+                ]
+            )
+            out = capsys.readouterr().out
+            assert code in (0, 1), (name, out)
+            assert f"{name}:" in out, (name, out)
+
+    def test_unknown_attack_errors_with_the_registered_list(
+        self, bench_file, tmp_path, capsys
+    ):
+        from repro.attacks.registry import attack_names
+
+        locked_path = tmp_path / "locked.bench"
+        main_lock([str(bench_file), str(locked_path), "--scheme", "ttlock"])
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            main_attack([str(locked_path), "--attack", "stat"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown attack 'stat'" in err
+        for name in attack_names():
+            assert name in err
+
+    def test_list_attacks_needs_no_netlist(self, capsys):
+        from repro.attacks.registry import attack_names
+
+        code = main_attack(["--list-attacks"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in attack_names():
+            assert name in out
+
+    def test_missing_netlist_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main_attack(["--attack", "fall"])
+        assert excinfo.value.code == 2
+        assert "netlist" in capsys.readouterr().err
+
+    def test_portfolio_end_to_end(self, bench_file, tmp_path, capsys):
+        locked_path = tmp_path / "locked.bench"
+        key_file = tmp_path / "key.txt"
+        main_lock(
+            [str(bench_file), str(locked_path), "--scheme", "ttlock",
+             "--key-file", str(key_file)]
+        )
+        capsys.readouterr()
+        code = main_attack(
+            [
+                str(locked_path),
+                "--portfolio", "fall,sat",
+                "--oracle", str(bench_file),
+                "--time-limit", "60",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "portfolio winner:" in out
+        recovered = out.split("key:")[1].strip().split()[0]
+        assert recovered == key_file.read_text().strip()
+
+    def test_portfolio_rejects_unknown_member(
+        self, bench_file, tmp_path, capsys
+    ):
+        locked_path = tmp_path / "locked.bench"
+        main_lock([str(bench_file), str(locked_path), "--scheme", "ttlock"])
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            main_attack([str(locked_path), "--portfolio", "fall,nope"])
+        assert excinfo.value.code == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_portfolio_rejects_duplicate_member(
+        self, bench_file, tmp_path, capsys
+    ):
+        locked_path = tmp_path / "locked.bench"
+        main_lock([str(bench_file), str(locked_path), "--scheme", "ttlock"])
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            main_attack([str(locked_path), "--portfolio", "fall,fall"])
+        assert excinfo.value.code == 2
+        assert "twice" in capsys.readouterr().err
+
+    def test_checkpoint_resume_through_the_cli(
+        self, bench_file, tmp_path, capsys
+    ):
+        locked_path = tmp_path / "locked.bench"
+        ckpt = tmp_path / "sat.ckpt.json"
+        main_lock([str(bench_file), str(locked_path), "--scheme", "ttlock"])
+        capsys.readouterr()
+        # Interrupt via an iteration cap, then resume to completion.
+        code = main_attack(
+            [
+                str(locked_path), "--attack", "sat",
+                "--oracle", str(bench_file),
+                "--checkpoint", str(ckpt),
+                "--max-iterations", "1",
+            ]
+        )
+        assert code == 1  # timed out on purpose
+        assert ckpt.exists()
+        capsys.readouterr()
+        code = main_attack(
+            [
+                str(locked_path), "--attack", "sat",
+                "--oracle", str(bench_file),
+                "--checkpoint", str(ckpt),
+            ]
+        )
+        assert code == 0
+        assert "key:" in capsys.readouterr().out
+
+    def test_checkpoint_with_portfolio_is_a_usage_error(
+        self, bench_file, tmp_path, capsys
+    ):
+        locked_path = tmp_path / "locked.bench"
+        main_lock([str(bench_file), str(locked_path), "--scheme", "ttlock"])
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            main_attack(
+                [str(locked_path), "--portfolio", "--checkpoint", "x.json"]
+            )
+        assert excinfo.value.code == 2
+
 
 class TestJobsFlag:
     """--jobs / REPRO_SIM_JOBS parsing on the attack + experiment CLIs."""
